@@ -1,0 +1,144 @@
+"""Figure 1: concurrent execution of alternatives.
+
+The paper's Figure 1 is a diagram: a sequential program reaches the start
+block, n methods plus the failure alternative run concurrently, the first
+success synchronizes, and the siblings are eliminated. This bench
+executes exactly that scenario on the simulation kernel and renders the
+kernel's own event trace as a text timeline, then asserts the diagram's
+ordering properties. The benchmark also exercises guard-placement
+variants (the figure's GUARD discussion).
+"""
+
+import pytest
+
+from _harness import report
+from repro.core.alternative import Alternative, Guard, GuardPlacement
+from repro.core.policy import EliminationPolicy
+from repro.kernel import Kernel
+
+
+def _method(label: str, seconds: float):
+    def method(ctx):
+        yield ctx.compute(seconds)
+        yield ctx.put("result", label)
+        return label
+
+    method.__name__ = label
+    return method
+
+
+def run_figure1(trace: bool = True):
+    """Three methods with dispersed runtimes; method_2 is fastest."""
+    kernel = Kernel(cpus=4, trace=trace)
+    box = {}
+
+    def sequential_program(ctx):
+        yield ctx.compute(0.2)  # work before the start block
+        out = yield from ctx.run_alternatives(
+            [
+                _method("method_1", 3.0),
+                _method("method_2", 1.0),
+                _method("method_3", 2.0),
+            ],
+            elimination=EliminationPolicy.ASYNCHRONOUS,
+        )
+        box["outcome"] = out
+        yield ctx.compute(0.1)  # work after the synchronization
+        return out.value
+
+    kernel.spawn(sequential_program, name="main")
+    kernel.run()
+    return kernel, box["outcome"]
+
+
+def render_timeline(kernel: Kernel) -> str:
+    interesting = kernel.trace.of_kind(
+        "spawn", "alt-spawn", "alt-wait", "commit", "kill", "fact", "done"
+    )
+    return "\n".join(str(e) for e in interesting)
+
+
+def test_figure1_timeline(benchmark):
+    kernel, outcome = benchmark.pedantic(run_figure1, iterations=1, rounds=1)
+    text = render_timeline(kernel)
+    report("fig1_alternatives", text + "\n\nwinner: " + str(outcome.value))
+
+    # diagram properties
+    assert outcome.value == "method_2"
+    spawn = kernel.trace.of_kind("alt-spawn")[0]
+    wait = kernel.trace.of_kind("alt-wait")[0]
+    commit = kernel.trace.of_kind("commit")[0]
+    kills = kernel.trace.of_kind("kill")
+    # start block -> methods -> synchronization -> elimination
+    assert spawn.time <= wait.time <= commit.time
+    assert len(kills) == 2  # both losing methods eliminated
+    assert all(k.time >= commit.time for k in kills)
+    # the synchronization happened when the fastest method finished
+    assert commit.time == pytest.approx(0.2 + 1.0, rel=0.01)
+
+
+def test_figure1_failure_path(benchmark):
+    """All guards unsatisfied: the failure alternative is selected."""
+
+    def run():
+        kernel = Kernel(cpus=4)
+        box = {}
+
+        def program(ctx):
+            bad = Alternative(
+                _method("m", 0.5),
+                guard=Guard(name="never", accept=lambda s, v: False),
+            )
+            out = yield from ctx.run_alternatives([bad, bad])
+            box["out"] = out
+            return "after-failure"
+
+        kernel.spawn(program, name="main")
+        kernel.run()
+        return box["out"]
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert outcome.failed
+    assert not outcome.timed_out
+
+
+@pytest.mark.parametrize(
+    "placement",
+    [GuardPlacement.BEFORE_SPAWN, GuardPlacement.IN_CHILD, GuardPlacement.AT_SYNC],
+    ids=["before-spawn", "in-child", "at-sync"],
+)
+def test_figure1_guard_placements(benchmark, placement):
+    """The figure text: guards may run serially before spawning, in the
+    child, or at the synchronization point — same selected result."""
+
+    def run():
+        kernel = Kernel(cpus=4)
+        box = {}
+
+        def program(ctx):
+            guarded = Alternative(
+                _method("wrong", 0.2),
+                guard=Guard(
+                    name="flag-required",
+                    check=lambda s: s.get("flag", False),
+                    accept=lambda s, v: s.get("flag", False),
+                    placement=placement,
+                ),
+            )
+            good = Alternative(_method("right", 1.0))
+            out = yield from ctx.run_alternatives([guarded, good])
+            box["out"] = out
+            return out.value
+
+        kernel.spawn(program, name="main", heap_init={"flag": False})
+        kernel.run()
+        return box["out"]
+
+    outcome = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert outcome.value == "right"
+
+
+if __name__ == "__main__":
+    kernel, outcome = run_figure1()
+    print(render_timeline(kernel))
+    print("winner:", outcome.value)

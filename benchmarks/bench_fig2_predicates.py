@@ -1,0 +1,108 @@
+"""Figure 2: use of predicates — a message out of a speculative block.
+
+The paper's Figure 2 shows method_n sending a message to a process
+outside the block: the receiver's predicates are checked against the
+sender's, and since accepting requires further assumptions, the receiver
+is split into a believing copy and a doubting copy; resolution of the
+block later eliminates exactly one of them.
+
+This bench executes the scenario both ways (sender wins / sender loses),
+renders the kernel's predicate-event trace, and asserts the pruning
+invariants.
+"""
+
+import pytest
+
+from _harness import report
+from repro.kernel import Kernel, ProcState, TIMEOUT
+
+
+def run_scenario(sender_wins: bool):
+    kernel = Kernel(cpus=4, trace=True)
+
+    def outside_process(ctx):
+        msg = yield ctx.recv(timeout=30.0)
+        if msg is TIMEOUT:
+            return "no-news"
+        return f"news:{msg.data}"
+
+    receiver_pid = kernel.spawn(outside_process, name="outside")
+
+    def block_parent(ctx):
+        def method_n(c):
+            yield c.compute(0.1)
+            yield c.send(receiver_pid, "speculative")
+            yield c.compute(0.1 if sender_wins else 10.0)
+            return "method_n"
+
+        def method_1(c):
+            yield c.compute(5.0 if sender_wins else 0.5)
+            return "method_1"
+
+        out = yield from ctx.run_alternatives([method_n, method_1])
+        return out.value
+
+    parent_pid = kernel.spawn(block_parent, name="parent")
+    kernel.run()
+    return kernel, receiver_pid, parent_pid
+
+
+def render(kernel: Kernel) -> str:
+    events = kernel.trace.of_kind(
+        "deliver", "world-split", "msg-accept", "msg-ignore",
+        "sync-defer", "sync-retry", "fact", "kill", "commit", "done",
+    )
+    return "\n".join(str(e) for e in events)
+
+
+def test_figure2_sender_wins(benchmark):
+    kernel, receiver_pid, parent_pid = benchmark.pedantic(
+        run_scenario, args=(True,), iterations=1, rounds=1
+    )
+    report("fig2_predicates_sender_wins", render(kernel))
+
+    assert kernel.result_of(parent_pid) == "method_n"
+    # the believing receiver copy survived and consumed the message
+    assert kernel.result_of(receiver_pid) == "news:speculative"
+    assert len(kernel.trace.of_kind("world-split")) == 1
+    # exactly one world of the receiver pid survives to completion
+    done = [w for w in kernel.worlds_of(receiver_pid) if w.state is ProcState.DONE]
+    assert len(done) == 1
+
+
+def test_figure2_sender_loses(benchmark):
+    kernel, receiver_pid, parent_pid = benchmark.pedantic(
+        run_scenario, args=(False,), iterations=1, rounds=1
+    )
+    report("fig2_predicates_sender_loses", render(kernel))
+
+    assert kernel.result_of(parent_pid) == "method_1"
+    # the doubting copy survived; the speculative message left no trace
+    assert kernel.result_of(receiver_pid) == "no-news"
+    assert len(kernel.trace.of_kind("world-split")) == 1
+    done = [w for w in kernel.worlds_of(receiver_pid) if w.state is ProcState.DONE]
+    assert len(done) == 1
+
+
+def test_figure2_consistency_both_ways(benchmark):
+    """Whatever resolves, no live world ever references a resolved pid."""
+
+    def run_both():
+        outputs = []
+        for wins in (True, False):
+            kernel, receiver_pid, _ = run_scenario(wins)
+            for world in kernel.live_worlds():
+                for pid in world.predicates.all_pids():
+                    assert pid not in kernel.facts
+            outputs.append(kernel.result_of(receiver_pid))
+        return outputs
+
+    outputs = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    assert outputs == ["news:speculative", "no-news"]
+
+
+if __name__ == "__main__":
+    for wins in (True, False):
+        kernel, *_ = run_scenario(wins)
+        print(f"--- sender {'wins' if wins else 'loses'} ---")
+        print(render(kernel))

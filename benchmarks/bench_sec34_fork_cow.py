@@ -1,0 +1,157 @@
+"""Section 3.4: measured fork / copy-on-write overheads.
+
+The paper's constants:
+
+- fork of a 320K address space: ~31 ms on the AT&T 3B2/310, ~12 ms on
+  the HP 9000/350;
+- page-copy service rate: 326 2K-pages/s (3B2), 1034 4K-pages/s (HP);
+- observed write fractions between 0.2 and 0.5 [18].
+
+The calibrated simulated machines regenerate the fork and copy numbers;
+a write-fraction sweep shows the COW cost scaling the paper's analysis
+assumes; and (when the host allows) a real ``os.fork`` microbenchmark
+reports this machine's modern constants for comparison.
+"""
+
+import os
+import time
+
+import pytest
+
+from _harness import report, table
+from repro.analysis.calibration import ATT_3B2_310, HP_9000_350
+from repro.core import Alternative, run_alternatives_sim
+from repro.memory.frame import FramePool
+from repro.memory.heap import PagedHeap
+
+
+def simulated_fork_times():
+    """alt_spawn cost for a 320K space on both calibrated machines."""
+    rows = []
+    for profile in (ATT_3B2_310, HP_9000_350):
+        pages = (320 * 1024) // profile.page_size
+        rows.append((profile.name, profile.page_size, pages,
+                     profile.fork_cost(pages) * 1000))
+    return rows
+
+
+def simulated_copy_rates():
+    rows = []
+    for profile in (ATT_3B2_310, HP_9000_350):
+        pages_per_s = 1.0 / profile.page_copy_s
+        rows.append((profile.name, profile.page_size, pages_per_s))
+    return rows
+
+
+def write_fraction_sweep(profile=ATT_3B2_310, pages: int = 160):
+    """COW charge for a child touching a growing fraction of its space.
+
+    Executed on the simulation kernel: the child really forks a paged
+    heap and really writes; the runtime overhead charged is the measured
+    page copies times the machine's copy cost.
+    """
+    rows = []
+    space_bytes = pages * profile.page_size
+    for fraction in (0.0, 0.1, 0.2, 0.35, 0.5, 1.0):
+        to_touch = int(fraction * pages)
+
+        def child(ctx, _n=to_touch, _ps=profile.page_size):
+            for i in range(_n):
+                yield ctx.put(f"page{i}", bytes(_ps // 2))
+            return _n
+
+        outcome, kernel = run_alternatives_sim(
+            [Alternative(child, name=f"touch-{to_touch}")],
+            initial={f"page{i}": bytes(profile.page_size // 2) for i in range(pages)},
+            profile=profile,
+            cpus=1,
+        )
+        measured = outcome.extras["state"]
+        _ = measured
+        copies = kernel.stats.pages_copied
+        rows.append(
+            (
+                fraction,
+                to_touch,
+                copies,
+                outcome.overhead.runtime_s * 1000,
+            )
+        )
+    _ = space_bytes
+    return rows
+
+
+def real_fork_microbench(space_bytes: int = 320 * 1024, trials: int = 20):
+    """fork()+exit of a process holding ``space_bytes`` of dirty heap."""
+    blob = bytearray(os.urandom(space_bytes))
+    times = []
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        times.append(time.perf_counter() - t0)
+    _ = blob
+    return min(times) * 1000, (sum(times) / len(times)) * 1000
+
+
+def test_calibrated_fork_times(benchmark):
+    rows = benchmark.pedantic(simulated_fork_times, iterations=1, rounds=1)
+    text = table(["machine", "page size", "pages", "fork (ms)"], rows, fmt="8.2f")
+    by_name = {r[0]: r[3] for r in rows}
+    # the paper's measured values, by construction of the calibration
+    assert by_name["AT&T 3B2/310"] == pytest.approx(31.0, rel=0.01)
+    assert by_name["HP 9000/350"] == pytest.approx(12.0, rel=0.01)
+
+    rate_rows = simulated_copy_rates()
+    text += "\n\n" + table(["machine", "page size", "pages copied / s"],
+                           rate_rows, fmt="8.1f")
+    rates = {r[0]: r[2] for r in rate_rows}
+    assert rates["AT&T 3B2/310"] == pytest.approx(326.0, rel=0.01)
+    assert rates["HP 9000/350"] == pytest.approx(1034.0, rel=0.01)
+    report("sec34_fork_cow_calibration", text)
+
+
+def test_write_fraction_sweep(benchmark):
+    rows = benchmark.pedantic(write_fraction_sweep, iterations=1, rounds=1)
+    text = table(
+        ["write fraction", "values touched", "pages copied", "COW cost (ms)"],
+        rows, fmt="8.2f",
+    )
+    report(
+        "sec34_write_fraction",
+        text + "\n\n(AT&T 3B2/310 profile, 160 half-page values; paper [18] "
+        "observed fractions 0.2-0.5)",
+    )
+    # COW cost scales with the fraction actually written, from zero
+    costs = [r[3] for r in rows]
+    assert costs == sorted(costs)
+    assert costs[0] == pytest.approx(0.0, abs=1e-6)
+    assert all(c > 0 for c in costs[1:])
+    # the charge is exactly copies x the machine's calibrated copy cost
+    for _, _, copies, cost_ms in rows:
+        assert cost_ms == pytest.approx(copies * ATT_3B2_310.page_copy_s * 1000)
+    # copies grow with the touched fraction but never exceed the touched
+    # values (two half-page values can share one privatized page)
+    for fraction, touched, copies, _ in rows[1:]:
+        assert 0 < copies <= touched + 2
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+def test_real_fork_for_comparison(benchmark):
+    best_ms, mean_ms = benchmark.pedantic(real_fork_microbench, iterations=1, rounds=1)
+    report(
+        "sec34_fork_real_host",
+        f"this host: fork()+wait of a 320K-dirty-heap process\n"
+        f"  best of 20: {best_ms:.3f} ms\n  mean of 20: {mean_ms:.3f} ms\n"
+        f"(paper: 31 ms on the 3B2/310, 12 ms on the HP 9000/350)",
+    )
+    # a modern machine forks this at least as fast as 1989 hardware
+    assert best_ms < 31.0
+
+
+if __name__ == "__main__":
+    print(simulated_fork_times())
+    print(simulated_copy_rates())
+    print(write_fraction_sweep())

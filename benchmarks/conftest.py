@@ -1,0 +1,7 @@
+"""Bench-suite configuration."""
+
+import sys
+import os
+
+# allow `python benchmarks/bench_x.py` and intra-suite imports
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The message layer in action: world splitting (paper Figure 2).
+
+A logger process sits OUTSIDE an alternative block. One alternative sends
+it a message mid-computation. Because the sender is speculative, the
+logger cannot simply accept: it splits into two worlds — one believing
+the sender will commit, one not. When the block resolves, exactly one
+logger world survives, and only then may it touch the teletype (a source
+device).
+
+Run it twice: once where the talkative alternative wins, once where it
+loses. The printed output differs; the internal consistency does not.
+"""
+
+from repro.kernel import Kernel, TIMEOUT
+
+
+def logger(ctx):
+    """Waits for news; prints it only once its world is certain."""
+    msg = yield ctx.recv(timeout=60.0)
+    if msg is TIMEOUT:
+        yield from ctx.print("logger: no news survived the block")
+        return "quiet"
+    yield from ctx.print(f"logger: confirmed news: {msg.data}")
+    return msg.data
+
+
+def run_scenario(talker_total: float, rival_total: float) -> None:
+    kernel = Kernel(cpus=4, trace=True)
+    log_pid = kernel.spawn(logger, name="logger")
+
+    def block_parent(ctx):
+        def talker(c):
+            yield c.compute(0.1)
+            yield c.send(log_pid, "talker got partial results")
+            yield c.compute(talker_total - 0.1)
+            return "talker"
+
+        def rival(c):
+            yield c.compute(rival_total)
+            return "rival"
+
+        out = yield from ctx.run_alternatives([talker, rival])
+        return out.value
+
+    parent_pid = kernel.spawn(block_parent, name="parent")
+    kernel.run()
+
+    winner = kernel.result_of(parent_pid)
+    tty = kernel.device("tty").text.strip()
+    splits = len(kernel.trace.of_kind("world-split"))
+    kills = len(kernel.trace.of_kind("kill"))
+    print(f"  block winner    : {winner}")
+    print(f"  world splits    : {splits}, worlds eliminated: {kills}")
+    print(f"  teletype output : {tty!r}")
+    print(f"  logger returned : {kernel.result_of(log_pid)!r}")
+
+
+def main() -> None:
+    print("=== scenario A: the talkative alternative wins ===")
+    run_scenario(talker_total=0.5, rival_total=5.0)
+    print("\n=== scenario B: the talkative alternative loses ===")
+    run_scenario(talker_total=5.0, rival_total=0.5)
+    print("\nin scenario B the message was received by a world that was "
+          "later\neliminated — no trace of it reaches the teletype.")
+
+
+if __name__ == "__main__":
+    main()

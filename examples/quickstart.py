@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: run mutually exclusive alternatives as Multiple Worlds.
+
+Three alternatives attack the same task — "produce a sorted copy of the
+data" — with very different speeds, and one of them is wrong (it fails
+its guard). We run the block twice:
+
+1. on the deterministic **simulation** backend (virtual time, calibrated
+   overheads, reproducible to the microsecond), and
+2. on the real **fork** backend (actual processes, actual kernel COW).
+
+The result in both cases: the fastest *acceptable* alternative's state
+change survives, everything else leaves no trace.
+"""
+
+import time
+
+from repro import Alternative, EliminationPolicy, Guard, run_alternatives
+
+
+# ---------------------------------------------------------------------------
+# the alternatives: each receives a workspace dict it may freely mutate;
+# at most one alternative's mutations survive the block.
+# ---------------------------------------------------------------------------
+def quicksortish(ws):
+    """Fast and correct."""
+    ws["data"] = sorted(ws["data"])
+    return "quicksortish"
+
+
+def bogo_lite(ws):
+    """Fast but WRONG — the guard will reject it."""
+    ws["data"] = list(reversed(ws["data"]))
+    return "bogo-lite"
+
+
+def bubble(ws):
+    """Slow and correct (sleeps to simulate being naive)."""
+    data = list(ws["data"])
+    for i in range(len(data)):
+        for j in range(len(data) - 1 - i):
+            if data[j] > data[j + 1]:
+                data[j], data[j + 1] = data[j + 1], data[j]
+    time.sleep(0.3)
+    ws["data"] = data
+    return "bubble"
+
+
+def is_sorted(ws, _result):
+    data = ws["data"]
+    return all(data[i] <= data[i + 1] for i in range(len(data) - 1))
+
+
+ALTERNATIVES = [
+    Alternative(quicksortish, guard=Guard(accept=is_sorted), sim_cost=1.0),
+    Alternative(bogo_lite, guard=Guard(accept=is_sorted), sim_cost=0.2),
+    Alternative(bubble, guard=Guard(accept=is_sorted), sim_cost=6.0),
+]
+
+INITIAL = {"data": [5, 3, 8, 1, 9, 2]}
+
+
+def main() -> None:
+    print("=== simulation backend (virtual time) ===")
+    outcome = run_alternatives(
+        ALTERNATIVES,
+        initial=INITIAL,
+        backend="sim",
+        cpus=3,
+        elimination=EliminationPolicy.ASYNCHRONOUS,
+    )
+    print(f"winner     : {outcome.winner.name}")
+    print(f"sorted data: {outcome.extras['state']['data']}")
+    print(f"virtual response time: {outcome.elapsed_s:.6f} s "
+          f"(bogo-lite was faster but its guard rejected it)")
+    print(f"overhead   : {outcome.overhead.as_dict()}")
+    losers = {l.name: l.error for l in outcome.losers}
+    print(f"losers     : {losers}")
+
+    print("\n=== fork backend (real processes, real COW) ===")
+    outcome = run_alternatives(ALTERNATIVES, initial=INITIAL, backend="fork")
+    print(f"winner     : {outcome.winner.name}")
+    print(f"sorted data: {outcome.extras['state']['data']}")
+    print(f"wall-clock response time: {outcome.elapsed_s:.4f} s "
+          f"(did not wait for bubble's 0.3 s nap)")
+
+
+if __name__ == "__main__":
+    main()

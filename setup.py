@@ -1,0 +1,8 @@
+"""Setup shim so `pip install -e .` works offline (no wheel package).
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

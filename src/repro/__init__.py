@@ -1,0 +1,85 @@
+"""Multiple Worlds: speculative parallel execution of alternatives.
+
+A library-scale reproduction of Smith & Maguire, *Exploring "Multiple
+Worlds" in Parallel* (ICPP 1989; Columbia TR CUCS-436-89).
+
+Quick start::
+
+    from repro import Alternative, run_alternatives
+
+    def fast(ws):  ws["x"] = 1; return "fast"
+    def slow(ws):  ws["x"] = 2; return "slow"
+
+    outcome = run_alternatives(
+        [Alternative(fast, sim_cost=1.0), Alternative(slow, sim_cost=5.0)],
+        initial={"x": 0},
+        backend="sim",          # or "fork" for real processes
+    )
+    assert outcome.value == "fast"
+    assert outcome.extras["state"]["x"] == 1
+
+Packages:
+
+- :mod:`repro.core` — alternatives, guards, predicates, schemes, the
+  ``run_alternatives`` entry point.
+- :mod:`repro.kernel` — the deterministic simulation kernel (virtual
+  time, COW worlds, predicated messages, world splitting).
+- :mod:`repro.memory` — pages, COW page tables, heaps, the single-level
+  store.
+- :mod:`repro.ipc` / :mod:`repro.devices` — predicated messaging and the
+  sink/source device model.
+- :mod:`repro.runtime` — the real ``os.fork`` backend and
+  checkpoint/restart.
+- :mod:`repro.distrib` — simulated links, remote fork, migration.
+- :mod:`repro.analysis` — the paper's PI/R_mu/R_o performance algebra and
+  machine calibrations.
+- :mod:`repro.apps` — recovery blocks, OR-parallel Prolog, polyalgorithms
+  and the Jenkins-Traub parallel rootfinder.
+"""
+
+from repro.core import (
+    AltBlock,
+    Alternative,
+    AlternativeResult,
+    BlockOutcome,
+    EliminationPolicy,
+    FAILURE,
+    Guard,
+    PredicateSet,
+    first_of,
+    run_alternatives,
+    run_alternatives_sim,
+)
+from repro.kernel import Kernel
+from repro.analysis import (
+    ATT_3B2_310,
+    HP_9000_350,
+    MODERN_SIM,
+    MachineProfile,
+    PerformanceModel,
+    performance_improvement,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Alternative",
+    "AltBlock",
+    "AlternativeResult",
+    "BlockOutcome",
+    "EliminationPolicy",
+    "FAILURE",
+    "Guard",
+    "PredicateSet",
+    "Kernel",
+    "run_alternatives",
+    "run_alternatives_sim",
+    "first_of",
+    "MachineProfile",
+    "PerformanceModel",
+    "performance_improvement",
+    "ATT_3B2_310",
+    "HP_9000_350",
+    "MODERN_SIM",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Performance analysis: the paper's section 3 algebra and calibration.
+
+- :mod:`repro.analysis.model` — PI, R_mu, R_o relationships (sections
+  3.2-3.3), including the superlinear-speedup condition.
+- :mod:`repro.analysis.domain` — whole-input-domain analysis (the paper's
+  extension of the single-input analysis).
+- :mod:`repro.analysis.overhead` — overhead decomposition (section 3.1).
+- :mod:`repro.analysis.calibration` — machine profiles with the paper's
+  section 3.4 measured constants (AT&T 3B2/310, HP 9000/350, rfork link).
+"""
+
+from repro.analysis.model import (
+    PerformanceModel,
+    performance_improvement,
+    pi_from_ratios,
+    r_mu,
+    r_o,
+    speedup_vs_parallelized,
+    superlinear_condition,
+)
+from repro.analysis.calibration import (
+    MachineProfile,
+    ATT_3B2_310,
+    HP_9000_350,
+    MODERN_SIM,
+    RFORK_LINK,
+)
+from repro.analysis.domain import DomainAnalysis, DomainPoint
+from repro.analysis.overhead import OverheadBreakdown
+from repro.analysis.experiment import ExperimentRunner, RunSummary, speedup
+from repro.analysis.granularity import (
+    AccessProfile,
+    GranularityCosts,
+    page_based_overhead,
+    preferred_scheme,
+    value_based_overhead,
+)
+
+__all__ = [
+    "PerformanceModel",
+    "performance_improvement",
+    "pi_from_ratios",
+    "r_mu",
+    "r_o",
+    "speedup_vs_parallelized",
+    "superlinear_condition",
+    "MachineProfile",
+    "ATT_3B2_310",
+    "HP_9000_350",
+    "MODERN_SIM",
+    "RFORK_LINK",
+    "DomainAnalysis",
+    "DomainPoint",
+    "OverheadBreakdown",
+    "ExperimentRunner",
+    "RunSummary",
+    "speedup",
+    "AccessProfile",
+    "GranularityCosts",
+    "page_based_overhead",
+    "value_based_overhead",
+    "preferred_scheme",
+]

@@ -1,0 +1,147 @@
+"""Machine profiles: cost constants for the simulation kernel.
+
+Section 3.4 of the paper reports concrete overhead measurements on two
+workstations; those constants calibrate our simulated machines so the
+microbenchmarks regenerate the paper's numbers by construction:
+
+====================  ==============  ===============
+quantity              AT&T 3B2/310    HP 9000/350
+====================  ==============  ===============
+fork, 320K space      ~31 ms          ~12 ms
+page copy service     326 × 2K /s     1034 × 4K /s
+page size             2 KiB           4 KiB
+====================  ==============  ===============
+
+Sibling elimination of 16 subprocesses: ~40 ms waiting for termination
+(synchronous), ~20 ms asynchronous — i.e. 2.5 ms vs 1.25 ms per child.
+
+Remote fork: an rfork() of a 70K process takes slightly under a second of
+checkpoint work, and network delays pushed the observed average execution
+time to about 1.3 s.
+
+The split of the measured fork time into a fixed part and a per-page-table
+-entry part is not reported by the paper; we attribute 30% to fixed process
+setup and spread the rest over the 320K address space's page-table entries.
+This choice only redistributes the same total and is documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Virtual-time cost constants for one simulated machine.
+
+    All times in seconds; the kernel charges these for each operation a
+    simulated process performs.
+    """
+
+    name: str
+    page_size: int
+    cpus: int = 1
+    # process management
+    fork_fixed_s: float = 0.001
+    pte_copy_s: float = 1e-6  # per page-table entry copied on fork
+    kill_sync_s: float = 0.0025  # per eliminated child, waiting for it
+    kill_async_s: float = 0.00125  # per eliminated child, fire-and-forget
+    context_switch_s: float = 1e-4
+    quantum_s: float = 0.010  # timeslice for CPU sharing
+    # memory
+    page_copy_s: float = 0.001  # per COW page copy
+    # IPC
+    msg_fixed_s: float = 5e-4
+    msg_per_byte_s: float = 2e-8
+    # devices
+    device_latency_s: float = 1e-3
+
+    def fork_cost(self, pages: int) -> float:
+        """Virtual time for alt_spawn to create one child over ``pages``."""
+        return self.fork_fixed_s + self.pte_copy_s * pages
+
+    def copy_cost(self, pages: int) -> float:
+        """Virtual time to copy ``pages`` whole pages (COW faults)."""
+        return self.page_copy_s * pages
+
+    def message_cost(self, nbytes: int) -> float:
+        return self.msg_fixed_s + self.msg_per_byte_s * nbytes
+
+    def elimination_cost(self, children: int, synchronous: bool) -> float:
+        per = self.kill_sync_s if synchronous else self.kill_async_s
+        return per * children
+
+    def with_cpus(self, cpus: int) -> "MachineProfile":
+        return replace(self, cpus=cpus)
+
+    def scaled(self, factor: float) -> "MachineProfile":
+        """All time constants multiplied by ``factor`` (what-if analysis)."""
+        return replace(
+            self,
+            fork_fixed_s=self.fork_fixed_s * factor,
+            pte_copy_s=self.pte_copy_s * factor,
+            kill_sync_s=self.kill_sync_s * factor,
+            kill_async_s=self.kill_async_s * factor,
+            context_switch_s=self.context_switch_s * factor,
+            page_copy_s=self.page_copy_s * factor,
+            msg_fixed_s=self.msg_fixed_s * factor,
+            msg_per_byte_s=self.msg_per_byte_s * factor,
+            device_latency_s=self.device_latency_s * factor,
+        )
+
+
+def _calibrated(name: str, page_size: int, fork_total_s: float,
+                ref_space_bytes: int, copy_pages_per_s: float) -> MachineProfile:
+    ref_pages = ref_space_bytes // page_size
+    fixed = 0.30 * fork_total_s
+    per_pte = (fork_total_s - fixed) / ref_pages
+    return MachineProfile(
+        name=name,
+        page_size=page_size,
+        fork_fixed_s=fixed,
+        pte_copy_s=per_pte,
+        page_copy_s=1.0 / copy_pages_per_s,
+    )
+
+
+#: AT&T 3B2/310 — fork of a 320K space ≈ 31 ms; 326 2K-pages/s copy rate.
+ATT_3B2_310 = _calibrated("AT&T 3B2/310", 2048, 0.031, 320 * 1024, 326.0)
+
+#: HP 9000/350 — fork of a 320K space ≈ 12 ms; 1034 4K-pages/s copy rate.
+HP_9000_350 = _calibrated("HP 9000/350", 4096, 0.012, 320 * 1024, 1034.0)
+
+#: A fast modern-ish machine for examples (1 µs-scale management costs).
+MODERN_SIM = MachineProfile(
+    name="modern-sim",
+    page_size=4096,
+    fork_fixed_s=5e-5,
+    pte_copy_s=2e-8,
+    kill_sync_s=2e-5,
+    kill_async_s=1e-5,
+    context_switch_s=2e-6,
+    quantum_s=0.004,
+    page_copy_s=2e-6,
+    msg_fixed_s=1e-5,
+    msg_per_byte_s=1e-10,
+    device_latency_s=5e-5,
+)
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Latency/bandwidth model of one link for the distributed case."""
+
+    name: str
+    latency_s: float
+    bandwidth_bytes_s: float
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.latency_s + nbytes / self.bandwidth_bytes_s
+
+
+#: Link calibrated so a 70K checkpoint ships in ~0.4 s on top of ~0.9 s of
+#: checkpoint work, matching the paper's ~1.3 s observed rfork average.
+RFORK_LINK = NetworkProfile(
+    name="rfork-lan-1989", latency_s=0.050, bandwidth_bytes_s=200 * 1024
+)

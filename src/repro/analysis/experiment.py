@@ -1,0 +1,124 @@
+"""Repeat-run experiment harness for block executions.
+
+Wall-clock backends (fork/thread) are noisy; comparing policies or
+backends honestly needs repeated runs and summary statistics. An
+:class:`ExperimentRunner` executes one block specification K times per
+configuration and reports mean / std / min / max response times plus win
+counts per alternative — the shape the paper's Table I aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.errors import WorldsError
+
+if TYPE_CHECKING:  # avoid the analysis <-> core import cycle at runtime
+    from repro.core.outcome import BlockOutcome
+
+
+@dataclass
+class RunSummary:
+    """Aggregate of K runs of one configuration."""
+
+    label: str
+    runs: int
+    mean_s: float
+    std_s: float
+    min_s: float
+    max_s: float
+    failures: int
+    timeouts: int
+    winners: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dominant_winner(self) -> str | None:
+        if not self.winners:
+            return None
+        return max(self.winners, key=self.winners.__getitem__)
+
+    def as_row(self) -> tuple:
+        return (
+            self.label,
+            self.runs,
+            self.mean_s,
+            self.std_s,
+            self.min_s,
+            self.max_s,
+            self.failures,
+            self.dominant_winner or "-",
+        )
+
+
+class ExperimentRunner:
+    """Run one block specification repeatedly across configurations.
+
+    ``make_alternatives`` builds a fresh alternatives list per run (so
+    stateful closures — fault injectors, RNGs — reset deliberately, not
+    accidentally); ``make_initial`` likewise builds the initial state.
+    """
+
+    def __init__(
+        self,
+        make_alternatives: Callable[[], Sequence[Any]],
+        make_initial: Callable[[], dict] | None = None,
+        repeats: int = 5,
+    ) -> None:
+        if repeats < 1:
+            raise WorldsError("repeats must be at least 1")
+        self.make_alternatives = make_alternatives
+        self.make_initial = make_initial or dict
+        self.repeats = repeats
+
+    def run_once(self, **config: Any) -> "BlockOutcome":
+        from repro.core.worlds import run_alternatives
+
+        return run_alternatives(
+            list(self.make_alternatives()),
+            initial=self.make_initial(),
+            **config,
+        )
+
+    def summarize(self, label: str, **config: Any) -> RunSummary:
+        """K runs of one configuration, aggregated."""
+        times: list[float] = []
+        failures = timeouts = 0
+        winners: Counter[str] = Counter()
+        for _ in range(self.repeats):
+            outcome = self.run_once(**config)
+            times.append(outcome.elapsed_s)
+            if outcome.timed_out:
+                timeouts += 1
+            if outcome.failed:
+                failures += 1
+            else:
+                winners[outcome.winner.name] += 1
+        return RunSummary(
+            label=label,
+            runs=self.repeats,
+            mean_s=statistics.fmean(times),
+            std_s=statistics.stdev(times) if len(times) > 1 else 0.0,
+            min_s=min(times),
+            max_s=max(times),
+            failures=failures,
+            timeouts=timeouts,
+            winners=dict(winners),
+        )
+
+    def compare(self, configurations: dict[str, dict[str, Any]]) -> list[RunSummary]:
+        """Summaries for several labelled configurations."""
+        return [
+            self.summarize(label, **config)
+            for label, config in configurations.items()
+        ]
+
+
+def speedup(baseline: RunSummary, candidate: RunSummary) -> float:
+    """Mean-response speedup of ``candidate`` over ``baseline``."""
+    if candidate.mean_s == 0:
+        return math.inf
+    return baseline.mean_s / candidate.mean_s

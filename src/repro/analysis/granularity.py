@@ -1,0 +1,113 @@
+"""Copy-granularity ablation: page-based vs value-based worlds.
+
+Paper section 5 contrasts this design with Wilson's "Alternate
+Universes": "Wilson's approach is value-based (and so might be
+incorporated in a language in order to exploit fine-grained parallelism)
+while our scheme is page-based and hence suitable for larger-grained
+parallelism; 'Multiple Worlds' interaction with the memory management
+portion of an operating system trades a higher startup cost against
+cheaper referencing from that point on."
+
+This module makes that trade quantitative. For a speculative execution
+characterized by an access profile, each scheme's overhead is:
+
+- **page-based**: a page-map copy at startup plus one page copy per
+  *distinct page* written; reads and repeat writes are free (hardware
+  does the checking).
+- **value-based**: near-zero startup, one object copy per distinct
+  object written — but *every* reference (read or write) pays a software
+  indirection/check, because there is no MMU doing it for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """How one speculative alternative touches state."""
+
+    objects: int  # objects in the shared state
+    object_bytes: int  # average object size
+    objects_written: int  # distinct objects the alternative writes
+    references: int  # total reads+writes it performs
+
+    @property
+    def state_bytes(self) -> int:
+        return self.objects * self.object_bytes
+
+    def pages(self, page_size: int) -> int:
+        return max(1, math.ceil(self.state_bytes / page_size))
+
+    def pages_written(self, page_size: int) -> int:
+        """Distinct pages dirtied, assuming writes cluster by object."""
+        written_bytes = self.objects_written * self.object_bytes
+        dirty = math.ceil(written_bytes / page_size)
+        # a page can't be dirtier than the space, nor cleaner than the
+        # number of objects that each straddle at least one page
+        if self.object_bytes >= page_size:
+            dirty = max(dirty, self.objects_written)
+        return min(self.pages(page_size), max(dirty, 1 if self.objects_written else 0))
+
+
+@dataclass(frozen=True)
+class GranularityCosts:
+    """Cost constants of the two schemes (seconds)."""
+
+    # page-based (MMU-assisted)
+    page_size: int = 2048
+    pte_copy_s: float = 1.3e-4  # per page-table entry at startup
+    page_copy_s: float = 3.1e-3  # per COW page copy (3B2-ish)
+    # value-based (software)
+    ref_check_s: float = 2.0e-6  # per reference, software indirection
+    object_copy_s_per_byte: float = 1.5e-6  # copying one object
+    object_copy_fixed_s: float = 5.0e-6
+
+
+def page_based_overhead(profile: AccessProfile, costs: GranularityCosts = GranularityCosts()) -> float:
+    """Startup page-map copy + one page copy per dirty page."""
+    pages = profile.pages(costs.page_size)
+    dirty = profile.pages_written(costs.page_size)
+    return pages * costs.pte_copy_s + dirty * costs.page_copy_s
+
+
+def value_based_overhead(profile: AccessProfile, costs: GranularityCosts = GranularityCosts()) -> float:
+    """Per-reference software checks + per-object copies."""
+    copies = profile.objects_written * (
+        costs.object_copy_fixed_s + profile.object_bytes * costs.object_copy_s_per_byte
+    )
+    return profile.references * costs.ref_check_s + copies
+
+
+def preferred_scheme(profile: AccessProfile, costs: GranularityCosts = GranularityCosts()) -> str:
+    """Which granularity wins for this access profile."""
+    return (
+        "page"
+        if page_based_overhead(profile, costs) <= value_based_overhead(profile, costs)
+        else "value"
+    )
+
+
+def crossover_references(profile: AccessProfile, costs: GranularityCosts = GranularityCosts()) -> float:
+    """Reference count at which page-based becomes the better scheme.
+
+    Below it, the page scheme's fixed startup dominates and value-based
+    wins (fine-grained work); above it, the per-reference software tax
+    dominates and page-based wins (the paper's larger-grained domain).
+    Returns ``inf`` when page-based never catches up (copy costs exceed
+    any reference savings) and 0 when it always wins.
+    """
+    page = page_based_overhead(profile, costs)
+    value_fixed = value_based_overhead(
+        AccessProfile(profile.objects, profile.object_bytes,
+                      profile.objects_written, references=0),
+        costs,
+    )
+    if page <= value_fixed:
+        return 0.0
+    gap = page - value_fixed
+    if costs.ref_check_s == 0:
+        return math.inf
+    return gap / costs.ref_check_s

@@ -1,0 +1,9 @@
+"""Application domains from the paper's section 4.
+
+- :mod:`repro.apps.recovery` — distributed execution of recovery blocks
+  (section 4.1).
+- :mod:`repro.apps.prolog` — OR-parallelism in a Horn-clause engine
+  (section 4.2).
+- :mod:`repro.apps.poly` — polyalgorithms and the parallel Jenkins-Traub
+  rootfinder behind Table I (section 4.3).
+"""

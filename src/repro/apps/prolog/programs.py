@@ -1,0 +1,90 @@
+"""Canonical Prolog programs for examples, tests and benches.
+
+Each constant is plain source text for :meth:`Database.from_source` /
+:meth:`Interpreter.with_library`. They are chosen to exhibit the
+properties the paper's section 4.2 discussion needs: choice points whose
+branches differ wildly in cost, and programs where clause order punishes
+depth-first search.
+"""
+
+FAMILY = """
+parent(tom, bob).    parent(tom, liz).
+parent(bob, ann).    parent(bob, pat).
+parent(pat, jim).    parent(liz, joe).
+parent(ann, sue).    parent(jim, max).
+
+male(tom). male(bob). male(pat). male(jim). male(joe). male(max).
+female(liz). female(ann). female(sue).
+
+father(X, Y) :- parent(X, Y), male(X).
+mother(X, Y) :- parent(X, Y), female(X).
+grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+sibling(X, Y) :- parent(P, X), parent(P, Y), X \\= Y.
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+"""
+
+#: N-queens with incremental placement; query: queens(6, Qs)
+QUEENS = """
+range(N, N, [N]).
+range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+noattack(_, [], _).
+noattack(Q, [P|Ps], D) :- Q =\\= P + D, Q =\\= P - D,
+                          D1 is D + 1, noattack(Q, Ps, D1).
+
+place([], Placed, Placed).
+place(Unplaced, Placed, Qs) :- select(Q, Unplaced, Rest),
+                               noattack(Q, Placed, 1),
+                               place(Rest, [Q|Placed], Qs).
+
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+"""
+
+#: map colouring of a small planar map; query: colour_map(A,B,C,D,E)
+COLORING = """
+colour(red). colour(green). colour(blue).
+
+diff(X, Y) :- colour(X), colour(Y), X \\= Y.
+
+colour_map(A, B, C, D, E) :-
+    diff(A, B), diff(A, C), diff(A, D),
+    diff(B, C), diff(C, D),
+    diff(B, E), diff(C, E), diff(D, E).
+"""
+
+#: a weighted-ish route search where strategy order is pessimal for
+#: depth-first execution (the OR-parallel showcase)
+SKEWED_SEARCH = """
+edge(s, a). edge(a, b). edge(b, c). edge(c, d). edge(d, a).
+edge(a, c). edge(c, a). edge(b, d). edge(d, b).
+edge(s, x). edge(x, y). edge(y, goal).
+
+path(X, X, _).
+path(X, Y, D) :- D > 0, edge(X, Z), D1 is D - 1, path(Z, Y, D1).
+
+find(deep_probe)  :- path(s, goal, 8), fail.
+find(wide_probe)  :- path(s, goal, 10), fail.
+find(direct)      :- path(x, goal, 3).
+"""
+
+#: list utilities beyond the standard library, for parser/engine stress
+LISTS_EXTRA = """
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, ST), S is ST + H.
+
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, MT), (H >= MT, M = H ; H < MT, M = MT).
+"""
+
+
+def naive_reverse_goal(n: int) -> str:
+    """The classic LIPS workload: nrev on an n-element list."""
+    items = ", ".join(str(i) for i in range(n))
+    return f"nrev([{items}], R)"

@@ -1,0 +1,151 @@
+"""Prolog terms: atoms, numbers, variables, compound structures.
+
+Terms are immutable; variables are identified by name + an allocation
+serial so clause renaming ("freshening") can create distinct copies of
+the same textual variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+_fresh_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A constant symbol: ``foo``, ``[]``, ``nil``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Num:
+    """An integer or float constant."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable. ``serial`` 0 marks source-text variables."""
+
+    name: str
+    serial: int = 0
+
+    def __str__(self) -> str:
+        if self.serial:
+            return f"_{self.name}{self.serial}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Struct:
+    """A compound term ``functor(arg1, ..., argN)``."""
+
+    functor: str
+    args: tuple = field(default_factory=tuple)
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> str:
+        """The predicate indicator ``functor/arity``."""
+        return f"{self.functor}/{self.arity}"
+
+    def __str__(self) -> str:
+        if self.functor == "." and self.arity == 2:
+            return _render_list(self)
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.functor}({inner})"
+
+
+Term = Union[Atom, Num, Var, Struct]
+
+#: the empty list atom
+NIL = Atom("[]")
+
+
+def cons(head: Term, tail: Term) -> Struct:
+    """The list cell ``'.'(Head, Tail)``."""
+    return Struct(".", (head, tail))
+
+
+def make_list(items: list, tail: Term = NIL) -> Term:
+    """A proper (or partial, with ``tail``) Prolog list."""
+    out: Term = tail
+    for item in reversed(items):
+        out = cons(item, out)
+    return out
+
+
+def list_items(term: Term) -> tuple[list, Term]:
+    """Split a list term into (items, tail); tail is NIL when proper."""
+    items = []
+    while isinstance(term, Struct) and term.functor == "." and term.arity == 2:
+        items.append(term.args[0])
+        term = term.args[1]
+    return items, term
+
+
+def _render_list(term: Struct) -> str:
+    items, tail = list_items(term)
+    body = ", ".join(str(i) for i in items)
+    if tail == NIL:
+        return f"[{body}]"
+    return f"[{body}|{tail}]"
+
+
+def variables_in(term: Term) -> Iterator[Var]:
+    """Every variable occurrence in ``term`` (with repeats)."""
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        if isinstance(t, Var):
+            yield t
+        elif isinstance(t, Struct):
+            stack.extend(t.args)
+
+
+def freshen(term: Term, mapping: dict[Var, Var] | None = None) -> Term:
+    """A copy of ``term`` with every variable renamed to a fresh one.
+
+    Used when a database clause is selected: each use gets its own
+    variable instances. Pass a shared ``mapping`` to freshen several
+    terms (a clause head and body) consistently.
+    """
+    if mapping is None:
+        mapping = {}
+
+    def walk(t: Term) -> Term:
+        if isinstance(t, Var):
+            if t not in mapping:
+                mapping[t] = Var(t.name, next(_fresh_counter))
+            return mapping[t]
+        if isinstance(t, Struct):
+            return Struct(t.functor, tuple(walk(a) for a in t.args))
+        return t
+
+    return walk(term)
+
+
+def term_size(term: Term) -> int:
+    """Node count — handy for cost models and depth limits."""
+    count = 0
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        count += 1
+        if isinstance(t, Struct):
+            stack.extend(t.args)
+    return count

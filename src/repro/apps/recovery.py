@@ -1,0 +1,203 @@
+"""Recovery blocks under Multiple Worlds (paper section 4.1).
+
+A *recovery block* (Randell's software fault tolerance construct) is
+
+    ensure  <acceptance test>
+    by      <primary alternate>
+    else by <alternate 2>
+    ...
+    else error
+
+Classically the alternates run one at a time against a restored state —
+"standby spares" for software. Since each alternate is guaranteed the same
+initial state, they can instead execute concurrently as Multiple Worlds:
+the acceptance test becomes the guard, at most one alternate's state
+change survives, and the COW layer keeps N copies of the state cheap.
+
+Two execution strategies are provided so benches can compare them:
+
+- :meth:`RecoveryBlock.run_sequential` — classic: primary first, restore
+  and fall back on failure (cost grows with each failure);
+- :meth:`RecoveryBlock.run_parallel` — the paper's transformation: race
+  everything, pay ~the fastest acceptable alternate.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.alternative import Alternative, Guard
+from repro.core.outcome import BlockOutcome
+from repro.core.worlds import run_alternatives
+from repro.errors import WorldsError
+
+AcceptanceTest = Callable[[dict, Any], bool]
+Alternate = Callable[[dict], Any]
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one recovery-block execution."""
+
+    value: Any
+    alternate: str  # name of the alternate whose result was accepted
+    attempts: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    state: dict = field(default_factory=dict)
+    outcome: BlockOutcome | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.alternate != ""
+
+
+class RecoveryBlock:
+    """An ``ensure/by/else-by`` block with sequential and worlds modes."""
+
+    def __init__(
+        self,
+        acceptance: AcceptanceTest,
+        primary: Alternate,
+        *alternates: Alternate,
+        name: str = "recovery-block",
+    ) -> None:
+        if not callable(acceptance):
+            raise WorldsError("acceptance test must be callable")
+        self.acceptance = acceptance
+        self.alternates: list[tuple[str, Alternate]] = []
+        for i, alt in enumerate((primary, *alternates)):
+            if not callable(alt):
+                raise WorldsError(f"alternate {i} is not callable")
+            self.alternates.append(
+                (getattr(alt, "__name__", f"alternate{i}"), alt)
+            )
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.alternates)
+
+    # -- classic standby-spares execution ------------------------------------
+    def run_sequential(self, state: dict) -> RecoveryResult:
+        """Primary first; on failure restore the state and try the next.
+
+        The restore is the classical "recovery cache" rollback — here a
+        deep copy taken before each attempt.
+        """
+        attempts = []
+        t0 = time.perf_counter()
+        for alt_name, alt in self.alternates:
+            attempts.append(alt_name)
+            trial_state = copy.deepcopy(state)
+            try:
+                value = alt(trial_state)
+            except Exception:
+                continue  # alternate crashed: restore == discard trial copy
+            try:
+                accepted = bool(self.acceptance(trial_state, value))
+            except Exception:
+                accepted = False
+            if accepted:
+                return RecoveryResult(
+                    value=value,
+                    alternate=alt_name,
+                    attempts=attempts,
+                    elapsed_s=time.perf_counter() - t0,
+                    state=trial_state,
+                )
+        return RecoveryResult(
+            value=None,
+            alternate="",
+            attempts=attempts,
+            elapsed_s=time.perf_counter() - t0,
+            state=dict(state),
+        )
+
+    # -- Multiple Worlds execution ------------------------------------------------
+    def as_alternatives(
+        self,
+        sim_costs: Sequence[float] | None = None,
+        stagger_s: float = 0.0,
+    ) -> list[Alternative]:
+        """The block's alternates as guarded worlds alternatives.
+
+        ``stagger_s`` delays alternate *i* by ``i * stagger_s``: the
+        primary launches immediately, spares progressively later. A
+        failing primary then costs at most one stagger of extra response
+        time, while spares that were never needed may be eliminated
+        before consuming any CPU — the paper's §4.1 note that
+        "special modifications of Multiple Worlds may be necessary for
+        fault-tolerant applications", made concrete.
+        """
+        alts = []
+        for index, (alt_name, alt) in enumerate(self.alternates):
+            cost = None
+            if sim_costs is not None:
+                cost = sim_costs[index]
+            alts.append(
+                Alternative(
+                    alt,
+                    name=alt_name,
+                    guard=Guard(name="acceptance", accept=self.acceptance),
+                    sim_cost=cost,
+                    start_delay=index * stagger_s,
+                )
+            )
+        return alts
+
+    def run_parallel(
+        self,
+        state: dict,
+        backend: str = "fork",
+        timeout: float | None = None,
+        sim_costs: Sequence[float] | None = None,
+        stagger_s: float = 0.0,
+        **kwargs: Any,
+    ) -> RecoveryResult:
+        """All alternates race; first accepted result commits."""
+        t0 = time.perf_counter()
+        outcome = run_alternatives(
+            self.as_alternatives(sim_costs, stagger_s),
+            initial=dict(state),
+            timeout=timeout,
+            backend=backend,
+            **kwargs,
+        )
+        elapsed = time.perf_counter() - t0
+        if outcome.failed:
+            return RecoveryResult(
+                value=None, alternate="", elapsed_s=elapsed,
+                state=dict(state), outcome=outcome,
+                attempts=[l.name for l in outcome.losers],
+            )
+        return RecoveryResult(
+            value=outcome.value,
+            alternate=outcome.winner.name,
+            attempts=[outcome.winner.name],
+            elapsed_s=elapsed,
+            state=outcome.extras.get("state", {}),
+            outcome=outcome,
+        )
+
+
+def flaky(fn: Alternate, failures_before_success: int, name: str | None = None) -> Alternate:
+    """Fault injection: raise for the first N calls, then behave.
+
+    Deterministic (a call counter, not randomness) so tests and benches
+    are reproducible. The counter lives in the returned closure — note
+    that under the fork backend each world gets its own copy-on-write
+    counter, which is exactly the semantics a real transient fault source
+    would show per-world.
+    """
+    state = {"remaining": failures_before_success}
+
+    def wrapper(ws: dict) -> Any:
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            raise RuntimeError(f"injected fault ({state['remaining'] + 1} remaining)")
+        return fn(ws)
+
+    wrapper.__name__ = name or f"flaky-{getattr(fn, '__name__', 'fn')}"
+    return wrapper

@@ -1,0 +1,46 @@
+"""Multiple Worlds core: alternatives, predicates, schemes, policies.
+
+This package holds the paper's primary contribution in backend-neutral
+form:
+
+- :mod:`repro.core.predicates` — must-complete / cant-complete predicate
+  sets and the accept/ignore/split message rule (paper section 2.4.2).
+- :mod:`repro.core.alternative` — :class:`Alternative` blocks with guards
+  (paper section 1.1).
+- :mod:`repro.core.policy` — timeout and sibling-elimination policies
+  (paper sections 2.2, 2.2.1).
+- :mod:`repro.core.schemes` — the Scheme A / B / C selectors of the
+  performance analysis (paper section 3.2).
+- :mod:`repro.core.worlds` — `run_alternatives`, the user-facing entry
+  point, dispatching to the simulation or fork backend.
+"""
+
+from repro.core.predicates import PredicateSet, MessageDecision, classify_message
+from repro.core.alternative import Alternative, Guard, AltBlock
+from repro.core.outcome import BlockOutcome, AlternativeResult, FAILURE
+from repro.core.policy import EliminationPolicy, TimeoutPolicy
+from repro.core.schemes import scheme_a, scheme_b, scheme_c_expectation
+from repro.core.worlds import first_of, run_alternatives, run_alternatives_sim
+from repro.core.dsl import WorldsBlock, worlds_block
+
+__all__ = [
+    "run_alternatives",
+    "run_alternatives_sim",
+    "first_of",
+    "worlds_block",
+    "WorldsBlock",
+    "PredicateSet",
+    "MessageDecision",
+    "classify_message",
+    "Alternative",
+    "Guard",
+    "AltBlock",
+    "BlockOutcome",
+    "AlternativeResult",
+    "FAILURE",
+    "EliminationPolicy",
+    "TimeoutPolicy",
+    "scheme_a",
+    "scheme_b",
+    "scheme_c_expectation",
+]

@@ -1,0 +1,143 @@
+"""Alternatives, guards and alternative blocks (paper sections 1.1, 2.2).
+
+An :class:`Alternative` is one method of effecting the block's state
+change, paired with a *guard condition* it must satisfy to be considered
+successful. An :class:`AltBlock` composes alternatives with the meaning
+that at most one of them (or failure) takes effect, selected
+non-deterministically — in parallel execution, by whoever synchronizes
+first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import WorldsError
+
+
+class GuardPlacement(enum.Flag):
+    """Where a guard is evaluated (paper section 2.2, Figure 1 text).
+
+    Guards "can be executed serially before spawning the alternatives
+    (thus improving throughput at the expense of response time); in the
+    child process; at the synchronization point; or at any combination of
+    these places, for redundancy."
+    """
+
+    BEFORE_SPAWN = enum.auto()
+    IN_CHILD = enum.auto()
+    AT_SYNC = enum.auto()
+
+
+@dataclass
+class Guard:
+    """A named guard condition over (state, result).
+
+    ``check(state)`` gates entry (BEFORE_SPAWN / IN_CHILD placements) and
+    ``accept(state, result)`` judges the produced result (IN_CHILD after
+    the body, and/or AT_SYNC). Either may be omitted; a missing predicate
+    always passes.
+    """
+
+    name: str = "guard"
+    check: Callable[[Any], bool] | None = None
+    accept: Callable[[Any, Any], bool] | None = None
+    placement: GuardPlacement = GuardPlacement.IN_CHILD
+
+    def passes_entry(self, state: Any) -> bool:
+        if self.check is None:
+            return True
+        return bool(self.check(state))
+
+    def passes_result(self, state: Any, result: Any) -> bool:
+        if self.accept is None:
+            return True
+        return bool(self.accept(state, result))
+
+    @classmethod
+    def always(cls) -> "Guard":
+        return cls(name="always")
+
+
+@dataclass
+class Alternative:
+    """One alternative method within a block.
+
+    Attributes
+    ----------
+    fn:
+        The body. For the fork and thread backends this is an ordinary
+        callable ``fn(state) -> result`` that may mutate ``state``
+        (a dict-like workspace). For the simulation backend it is either a
+        generator program ``fn(ctx)`` yielding syscalls, or a plain
+        callable paired with ``sim_cost``.
+    guard:
+        The guard condition; defaults to always-true.
+    name:
+        Diagnostic label.
+    sim_cost:
+        Virtual-time cost for the simulation backend when ``fn`` is a
+        plain callable (seconds, or a callable ``state -> seconds``).
+    start_delay:
+        Seconds this alternative waits before starting — staggered
+        spawning. Launching the primary immediately and spares after a
+        delay trades response time (a failing primary costs up to the
+        stagger) against throughput (spares that were never needed never
+        run). Honoured by the simulation backend in virtual time and by
+        the fork/thread backends in wall-clock time.
+    """
+
+    fn: Callable[..., Any]
+    guard: Guard = field(default_factory=Guard.always)
+    name: str = ""
+    sim_cost: float | Callable[[Any], float] | None = None
+    start_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise WorldsError(f"alternative body must be callable, got {self.fn!r}")
+        if self.start_delay < 0:
+            raise WorldsError(f"start_delay must be non-negative, got {self.start_delay}")
+        if not self.name:
+            self.name = getattr(self.fn, "__name__", "alternative")
+
+    def cost_for(self, state: Any) -> float:
+        """Resolve ``sim_cost`` against a concrete state."""
+        if self.sim_cost is None:
+            return 0.0
+        if callable(self.sim_cost):
+            return float(self.sim_cost(state))
+        return float(self.sim_cost)
+
+
+@dataclass
+class AltBlock:
+    """A composed block of mutually exclusive alternatives.
+
+    ``timeout`` is the parent's TIMEOUT argument to ``alt_wait()`` —
+    "chosen so that after TIMEOUT time units have elapsed, it is unlikely
+    that any of the alternatives have succeeded"; ``None`` waits forever.
+    """
+
+    alternatives: list[Alternative]
+    timeout: float | None = None
+    name: str = "alt-block"
+
+    def __post_init__(self) -> None:
+        if not self.alternatives:
+            raise WorldsError("an alternative block needs at least one alternative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise WorldsError(f"timeout must be positive or None, got {self.timeout}")
+
+    def __len__(self) -> int:
+        return len(self.alternatives)
+
+    def __iter__(self):
+        return iter(self.alternatives)
+
+    @classmethod
+    def of(cls, *fns: Callable[..., Any], timeout: float | None = None) -> "AltBlock":
+        """Build a block from bare callables with always-true guards."""
+        return cls([Alternative(fn) for fn in fns], timeout=timeout)

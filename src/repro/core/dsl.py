@@ -1,0 +1,124 @@
+"""Decorator sugar: the paper's preprocessor, as a Python API.
+
+Section 2.2 imagines "a language preprocessor applied to a program with
+mutually exclusive alternatives". In Python the natural equivalent is a
+decorator-based builder:
+
+    from repro.core.dsl import worlds_block
+
+    block = worlds_block(timeout=5.0)
+
+    @block.alternative(cost=1.0)
+    def newton(ws):
+        ws["root"] = solve_newton(ws["f"])
+        return "newton"
+
+    @block.alternative(cost=4.0, guard=lambda ws, v: ws["root"] is not None)
+    def bisect(ws):
+        ws["root"] = solve_bisect(ws["f"])
+        return "bisect"
+
+    outcome = block.run(initial={"f": f, "root": None}, backend="sim")
+
+The decorated functions stay directly callable — the block only collects
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.alternative import Alternative, Guard, GuardPlacement
+from repro.core.outcome import BlockOutcome
+from repro.core.policy import EliminationPolicy
+from repro.core.worlds import run_alternatives
+from repro.errors import WorldsError
+
+
+class WorldsBlock:
+    """A collected block of alternatives with run configuration."""
+
+    def __init__(
+        self,
+        name: str = "worlds-block",
+        timeout: float | None = None,
+        elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+    ) -> None:
+        self.name = name
+        self.timeout = timeout
+        self.elimination = elimination
+        self._alternatives: list[Alternative] = []
+
+    # -- collection --------------------------------------------------------
+    def alternative(
+        self,
+        fn: Callable | None = None,
+        *,
+        cost: float | Callable[[dict], float] | None = None,
+        guard: Callable[[dict, Any], bool] | None = None,
+        applies: Callable[[dict], bool] | None = None,
+        placement: GuardPlacement = GuardPlacement.IN_CHILD,
+        name: str | None = None,
+    ):
+        """Register a function as one alternative of this block.
+
+        Usable bare (``@block.alternative``) or parameterized
+        (``@block.alternative(cost=2.0, guard=...)``). ``guard`` is the
+        acceptance predicate ``(workspace, result) -> bool``; ``applies``
+        gates entry.
+        """
+
+        def register(func: Callable) -> Callable:
+            self._alternatives.append(
+                Alternative(
+                    func,
+                    name=name or getattr(func, "__name__", "alternative"),
+                    guard=Guard(
+                        name=f"{name or func.__name__}-guard",
+                        check=applies,
+                        accept=guard,
+                        placement=placement,
+                    ),
+                    sim_cost=cost,
+                )
+            )
+            return func
+
+        if fn is not None:  # bare decorator form
+            return register(fn)
+        return register
+
+    @property
+    def alternatives(self) -> Sequence[Alternative]:
+        return tuple(self._alternatives)
+
+    def __len__(self) -> int:
+        return len(self._alternatives)
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self,
+        initial: dict[str, Any] | None = None,
+        backend: str = "sim",
+        **kwargs: Any,
+    ) -> BlockOutcome:
+        """Execute the collected block; see :func:`run_alternatives`."""
+        if not self._alternatives:
+            raise WorldsError(f"block {self.name!r} has no alternatives")
+        return run_alternatives(
+            list(self._alternatives),
+            initial=initial,
+            timeout=self.timeout,
+            elimination=self.elimination,
+            backend=backend,
+            **kwargs,
+        )
+
+
+def worlds_block(
+    name: str = "worlds-block",
+    timeout: float | None = None,
+    elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+) -> WorldsBlock:
+    """Start collecting a block of mutually exclusive alternatives."""
+    return WorldsBlock(name=name, timeout=timeout, elimination=elimination)

@@ -1,0 +1,158 @@
+"""`run_alternatives`: the user-facing Multiple Worlds entry point.
+
+One call executes a block of mutually exclusive alternatives on a chosen
+backend and returns a :class:`~repro.core.outcome.BlockOutcome`:
+
+- ``backend="sim"``  — the deterministic simulation kernel (virtual time,
+  calibrated overheads, full predicate semantics);
+- ``backend="fork"`` — real ``os.fork`` worlds with genuine kernel COW
+  (wall-clock time; see :mod:`repro.runtime.fork_backend`);
+- ``backend="thread"`` — threads with copied workspaces (no COW; useful
+  where fork is unavailable, and as a baseline).
+
+All backends share the same sequential semantics: the observable result
+is one some sequential execution of a single alternative could have
+produced (paper section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.analysis.calibration import MODERN_SIM, MachineProfile
+from repro.core.alternative import Alternative
+from repro.core.outcome import AlternativeResult, BlockOutcome
+from repro.core.policy import EliminationPolicy
+from repro.errors import WorldsError
+
+
+def _normalize(alternatives: Sequence[Any]) -> list[Alternative]:
+    out = []
+    for i, alt in enumerate(alternatives):
+        if isinstance(alt, Alternative):
+            out.append(alt)
+        elif callable(alt):
+            out.append(Alternative(alt, name=getattr(alt, "__name__", f"alt{i}")))
+        else:
+            raise WorldsError(f"cannot use {alt!r} as an alternative")
+    if not out:
+        raise WorldsError("need at least one alternative")
+    return out
+
+
+def outcome_from_alt(alt_outcome, state: dict | None = None, extras: dict | None = None) -> BlockOutcome:
+    """Convert a kernel :class:`~repro.kernel.syscalls.AltOutcome`."""
+    winner = None
+    losers = []
+    for rec in alt_outcome.children:
+        result = AlternativeResult(
+            index=rec.index,
+            name=rec.name,
+            value=rec.value,
+            succeeded=rec.status == "committed",
+            guard_failed="guard" in (rec.reason or "") or rec.status == "guard-rejected",
+            error=rec.reason or None,
+            elapsed_s=(rec.finished_at - alt_outcome.spawned_at)
+            if rec.finished_at is not None
+            else 0.0,
+        )
+        if rec.status == "committed":
+            winner = result
+        else:
+            losers.append(result)
+    elapsed = alt_outcome.response_s if alt_outcome.parent_resumed_at else (
+        alt_outcome.committed_at - alt_outcome.spawned_at
+    )
+    out = BlockOutcome(
+        winner=winner,
+        elapsed_s=elapsed,
+        overhead=alt_outcome.overhead,
+        timed_out=alt_outcome.timed_out,
+        losers=losers,
+    )
+    if state is not None:
+        out.extras["state"] = state
+    if extras:
+        out.extras.update(extras)
+    return out
+
+
+def run_alternatives_sim(
+    alternatives: Sequence[Any],
+    initial: dict[str, Any] | None = None,
+    timeout: float | None = None,
+    elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+    profile: MachineProfile = MODERN_SIM,
+    cpus: int | None = None,
+    seed: int = 0,
+    trace: bool = False,
+):
+    """Execute one block on a fresh simulation kernel.
+
+    Returns ``(BlockOutcome, Kernel)`` — the kernel is returned so callers
+    can inspect stats, traces and devices.
+    """
+    from repro.kernel import Kernel  # local import: kernel depends on core
+
+    alts = _normalize(alternatives)
+    kernel = Kernel(profile=profile, cpus=cpus, seed=seed, trace=trace)
+    box: dict[str, Any] = {}
+
+    def driver(ctx):
+        outcome = yield from ctx.run_alternatives(alts, timeout, elimination)
+        box["alt_outcome"] = outcome
+        box["state"] = yield ctx.snapshot()
+        return outcome.value
+
+    kernel.spawn(driver, name="block-parent", heap_init=initial)
+    kernel.run()
+    alt_outcome = box.get("alt_outcome")
+    if alt_outcome is None:
+        raise WorldsError("block driver did not complete")
+    outcome = outcome_from_alt(
+        alt_outcome,
+        state=box.get("state"),
+        extras={"virtual_time": kernel.now},
+    )
+    return outcome, kernel
+
+
+def run_alternatives(
+    alternatives: Sequence[Any],
+    initial: dict[str, Any] | None = None,
+    timeout: float | None = None,
+    elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+    backend: str = "sim",
+    **kwargs: Any,
+) -> BlockOutcome:
+    """Run a block of mutually exclusive alternatives; return the outcome.
+
+    ``alternatives`` are :class:`Alternative` objects or callables. For
+    the ``sim`` backend, callables may be generator programs or plain
+    functions of a dict workspace; for ``fork``/``thread`` they are plain
+    functions of a dict workspace. At most one alternative's state change
+    survives into ``outcome.extras["state"]``.
+    """
+    if backend == "sim":
+        outcome, _kernel = run_alternatives_sim(
+            alternatives, initial, timeout, elimination, **kwargs
+        )
+        return outcome
+    if backend == "fork":
+        from repro.runtime.fork_backend import run_alternatives_fork
+
+        return run_alternatives_fork(
+            alternatives, initial, timeout=timeout, elimination=elimination, **kwargs
+        )
+    if backend == "thread":
+        from repro.runtime.thread_backend import run_alternatives_thread
+
+        return run_alternatives_thread(
+            alternatives, initial, timeout=timeout, **kwargs
+        )
+    raise WorldsError(f"unknown backend {backend!r}")
+
+
+def first_of(*fns: Callable[[dict], Any], **kwargs: Any) -> BlockOutcome:
+    """Convenience: run bare callables as a block with default settings."""
+    return run_alternatives(list(fns), **kwargs)

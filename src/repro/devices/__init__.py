@@ -1,0 +1,32 @@
+"""Sink and source devices (paper section 2.1).
+
+System state divides on idempotence: operations on **sink** devices can be
+retried without observable effects (a page of backing store); operations on
+**sources** cannot (a teletype). Speculative worlds may update sinks —
+their effects are staged per world and flushed at commit — but a process
+with unresolved predicates "cannot interface with sources" (section 2.4.2).
+
+- :class:`~repro.devices.device.Device` /
+  :class:`~repro.devices.device.SinkDevice` /
+  :class:`~repro.devices.device.SourceDevice` — the base model.
+- :class:`~repro.devices.teletype.Teletype` — the canonical source.
+- :class:`~repro.devices.backing_store.BackingStoreDevice` — the
+  canonical sink, with per-world staging and atomic flush.
+- :class:`~repro.devices.buffered.BufferedSource` — Jefferson-style
+  buffering that forces idempotency onto a source so replicated readers
+  all see the same data (paper section 5).
+"""
+
+from repro.devices.device import Device, SinkDevice, SourceDevice
+from repro.devices.teletype import Teletype
+from repro.devices.backing_store import BackingStoreDevice
+from repro.devices.buffered import BufferedSource
+
+__all__ = [
+    "Device",
+    "SinkDevice",
+    "SourceDevice",
+    "Teletype",
+    "BackingStoreDevice",
+    "BufferedSource",
+]

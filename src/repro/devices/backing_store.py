@@ -1,0 +1,89 @@
+"""Backing store: the paper's concrete example of a sink device.
+
+A log-structured byte store with per-world staging. Speculative worlds
+write into a private staging journal; when a world's predicates resolve
+true its journal is applied atomically (in write order), and when the
+world is eliminated the journal vanishes without a trace — the
+transaction behaviour of paper section 2.1: "either none or all of the
+transaction's component actions occur, and intermediate states are not
+observable outside the transaction".
+
+Reads by a staging world are satisfied from its own journal first, so a
+transaction "can read what was written" (internal consistency).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.devices.device import SinkDevice
+
+
+class BackingStoreDevice(SinkDevice):
+    """An addressable byte store with world-staged writes."""
+
+    def __init__(self, name: str = "disk", size: int = 1 << 16) -> None:
+        super().__init__(name)
+        self._data = bytearray(size)
+        self._staged: dict[int, list[tuple[int, bytes]]] = {}
+        self.committed_writes = 0
+        self.discarded_writes = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    # -- direct (non-speculative) access -----------------------------------
+    def read(self, nbytes: int, offset: int = 0, world: int | None = None, **kwargs: Any) -> bytes:
+        """Read ``nbytes`` at ``offset``; a staging world sees its own writes."""
+        base = bytearray(self._data[offset : offset + nbytes])
+        if world is not None:
+            for w_offset, w_data in self._staged.get(world, ()):  # replay journal
+                lo = max(w_offset, offset)
+                hi = min(w_offset + len(w_data), offset + nbytes)
+                if lo < hi:
+                    base[lo - offset : hi - offset] = w_data[lo - w_offset : hi - w_offset]
+        return bytes(base)
+
+    def write(self, data: bytes, offset: int = 0, **kwargs: Any) -> int:
+        """Committed (non-speculative) write."""
+        self._check_range(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+        self.committed_writes += 1
+        return len(data)
+
+    # -- speculative staging --------------------------------------------------
+    def stage_write(self, world: int, data: bytes, offset: int = 0, **kwargs: Any) -> int:
+        """Journal a write on behalf of a speculative world."""
+        self._check_range(offset, len(data))
+        self._staged.setdefault(world, []).append((offset, bytes(data)))
+        return len(data)
+
+    def commit_world(self, world: int) -> None:
+        """Apply the world's journal in order, atomically."""
+        for offset, data in self._staged.pop(world, ()):  # FIFO order
+            self._data[offset : offset + len(data)] = data
+            self.committed_writes += 1
+
+    def discard_world(self, world: int) -> None:
+        """Eliminate the world's journal (no observable effect remains)."""
+        self.discarded_writes += len(self._staged.pop(world, ()))
+
+    def transfer_world(self, src: int, dst: int) -> int:
+        """Move ``src``'s journal onto ``dst``'s, preserving write order."""
+        moved = self._staged.pop(src, [])
+        if moved:
+            self._staged.setdefault(dst, []).extend(moved)
+        return len(moved)
+
+    def staged_worlds(self) -> list[int]:
+        return sorted(self._staged)
+
+    def pending_writes(self, world: int) -> int:
+        return len(self._staged.get(world, ()))
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or offset + length > len(self._data):
+            raise ValueError(
+                f"write [{offset}:{offset + length}] outside store of {len(self._data)} bytes"
+            )

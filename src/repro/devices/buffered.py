@@ -1,0 +1,79 @@
+"""Forcing idempotency onto sources by buffering (paper section 5).
+
+"When managing I/O for replicated computations, only one read operation
+can be performed, and its results buffered for subsequent readers of the
+same data. Thus, idempotency of some source state can be forced through
+buffering, as was illustrated by Jefferson's use of a specialized
+buffering process called stdout."
+
+:class:`BufferedSource` wraps a source device; the first reader at each
+stream position triggers a real device read, and every later reader at
+the same position replays the buffered bytes. Writes are deduplicated per
+position the same way, so N replicas writing the same output produce it
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.devices.device import Device, SourceDevice
+
+
+class BufferedSource(Device):
+    """An idempotent façade over a non-idempotent source.
+
+    Each client tracks its own stream position (``client`` id). Reads at
+    positions already consumed come from the buffer; reads past the
+    buffered frontier pull fresh data from the wrapped source exactly
+    once. Symmetrically, a write is forwarded only by the first client to
+    reach that output position.
+    """
+
+    def __init__(self, inner: SourceDevice, name: str | None = None) -> None:
+        super().__init__(name or f"buffered-{inner.name}")
+        if not inner.is_source:
+            raise ValueError("BufferedSource wraps source devices only")
+        self.inner = inner
+        self._read_buffer = bytearray()
+        self._read_pos: dict[Any, int] = {}
+        self._write_frontier = 0
+        self._write_pos: dict[Any, int] = {}
+        self.real_reads = 0
+        self.replayed_reads = 0
+
+    @property
+    def is_source(self) -> bool:
+        # The façade itself behaves idempotently per client, which is the
+        # whole point: the kernel may expose it to replicated readers.
+        return False
+
+    # -- reads -------------------------------------------------------------
+    def read(self, nbytes: int, client: Any = "default", **kwargs: Any) -> bytes:
+        pos = self._read_pos.get(client, 0)
+        needed = pos + nbytes - len(self._read_buffer)
+        if needed > 0:
+            fresh = self.inner.read(needed)
+            self.real_reads += 1
+            self._read_buffer.extend(fresh)
+        else:
+            self.replayed_reads += 1
+        chunk = bytes(self._read_buffer[pos : pos + nbytes])
+        self._read_pos[client] = pos + len(chunk)
+        return chunk
+
+    # -- writes -----------------------------------------------------------------
+    def write(self, data: bytes, client: Any = "default", **kwargs: Any) -> int:
+        pos = self._write_pos.get(client, 0)
+        end = pos + len(data)
+        if end > self._write_frontier:
+            fresh = data[self._write_frontier - pos :]
+            self.inner.write(fresh)
+            self._write_frontier = end
+        self._write_pos[client] = end
+        return len(data)
+
+    def forget_client(self, client: Any) -> None:
+        """Drop a replica's positions (it was eliminated)."""
+        self._read_pos.pop(client, None)
+        self._write_pos.pop(client, None)

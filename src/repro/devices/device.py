@@ -1,0 +1,78 @@
+"""Device base classes: the sink/source split.
+
+The distinction is behavioural, not nominal: the kernel asks
+``device.is_source`` before letting a predicated process touch it, and
+routes speculative sink writes through per-world staging.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+
+class Device(abc.ABC):
+    """Anything a simulated process can read from or write to by name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    @abc.abstractmethod
+    def is_source(self) -> bool:
+        """True when operations on this device are not retryable."""
+
+    @abc.abstractmethod
+    def read(self, nbytes: int, **kwargs: Any) -> bytes:
+        """Consume up to ``nbytes`` from the device."""
+
+    @abc.abstractmethod
+    def write(self, data: bytes, **kwargs: Any) -> int:
+        """Emit ``data``; returns bytes written."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "source" if self.is_source else "sink"
+        return f"{type(self).__name__}({self.name!r}, {kind})"
+
+
+class SourceDevice(Device):
+    """A device whose operations are observable and non-retryable."""
+
+    @property
+    def is_source(self) -> bool:
+        return True
+
+
+class SinkDevice(Device):
+    """A device whose operations are idempotent / hideable.
+
+    Subclasses additionally support per-world staging: speculative writes
+    go to a staging area keyed by world id, made permanent by
+    :meth:`commit_world` or discarded by :meth:`discard_world` — the
+    transaction-style atomicity of paper section 2.1.
+    """
+
+    @property
+    def is_source(self) -> bool:
+        return False
+
+    @abc.abstractmethod
+    def stage_write(self, world: int, data: bytes, **kwargs: Any) -> int:
+        """Buffer a speculative write on behalf of ``world``."""
+
+    @abc.abstractmethod
+    def commit_world(self, world: int) -> None:
+        """Make ``world``'s staged writes permanent, in order."""
+
+    @abc.abstractmethod
+    def discard_world(self, world: int) -> None:
+        """Throw away ``world``'s staged writes (elimination)."""
+
+    @abc.abstractmethod
+    def transfer_world(self, src: int, dst: int) -> int:
+        """Re-key ``src``'s staged writes to ``dst`` (nested commit).
+
+        When an inner block's winner commits into a parent that is itself
+        still speculative, the journal moves up a level instead of
+        flushing. Returns the number of writes moved.
+        """

@@ -1,0 +1,50 @@
+"""The teletype: the paper's concrete example of a source device.
+
+Writes are immediately visible on :attr:`output` (observable side effect);
+reads consume from a scripted input stream and cannot be retried. The
+kernel refuses (or blocks) predicated processes that try to touch it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.devices.device import SourceDevice
+
+
+class Teletype(SourceDevice):
+    """A scripted-input, visible-output terminal."""
+
+    def __init__(self, name: str = "tty", input_script: bytes = b"") -> None:
+        super().__init__(name)
+        self._input = bytearray(input_script)
+        self._read_pos = 0
+        self.output = bytearray()
+        self.reads = 0
+        self.writes = 0
+
+    def feed(self, data: bytes) -> None:
+        """Append more scripted input (as if a user typed it)."""
+        self._input.extend(data)
+
+    def read(self, nbytes: int, **kwargs: Any) -> bytes:
+        """Consume up to ``nbytes`` of input; destructive, non-retryable."""
+        self.reads += 1
+        chunk = bytes(self._input[self._read_pos : self._read_pos + nbytes])
+        self._read_pos += len(chunk)
+        return chunk
+
+    def write(self, data: bytes, **kwargs: Any) -> int:
+        """Print ``data`` — an irreversibly observable effect."""
+        self.writes += 1
+        self.output.extend(data)
+        return len(data)
+
+    @property
+    def text(self) -> str:
+        """Everything printed so far, decoded for assertions."""
+        return self.output.decode(errors="replace")
+
+    @property
+    def input_remaining(self) -> int:
+        return len(self._input) - self._read_pos

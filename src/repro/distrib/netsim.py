@@ -1,0 +1,75 @@
+"""Simulated network links.
+
+A :class:`SimulatedLink` is a latency + bandwidth pipe with optional
+per-transfer jitter and a transfer ledger. It computes (and can optionally
+really sleep for) the time to ship a byte payload — the substitution for
+the 1989 LAN the paper's rfork ran over (see DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.calibration import NetworkProfile
+from repro.errors import NetworkError
+from repro.util.rng import ReplayableRNG
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer on a link."""
+
+    nbytes: int
+    seconds: float
+    started_at: float
+
+
+@dataclass
+class SimulatedLink:
+    """A point-to-point link with latency, bandwidth and jitter.
+
+    ``jitter`` adds a uniform[0, jitter·nominal] penalty per transfer,
+    drawn from a seeded RNG for reproducibility. ``real_sleep`` makes
+    :meth:`transfer` actually block for the computed duration (for
+    end-to-end wall-clock demos); by default the link only accounts.
+    """
+
+    profile: NetworkProfile
+    jitter: float = 0.0
+    real_sleep: bool = False
+    seed: int = 0
+    clock: float = 0.0
+    ledger: list[TransferRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0:
+            raise NetworkError("jitter must be non-negative")
+        self._rng = ReplayableRNG(self.seed)
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Nominal (jitter-free) time to ship ``nbytes``."""
+        if nbytes < 0:
+            raise NetworkError("cannot transfer a negative payload")
+        return self.profile.transfer_time(nbytes)
+
+    def transfer(self, nbytes: int) -> float:
+        """Account (and optionally sleep) one transfer; returns seconds."""
+        nominal = self.transfer_time(nbytes)
+        seconds = nominal
+        if self.jitter > 0:
+            seconds += self._rng.uniform(0.0, self.jitter * nominal)
+        record = TransferRecord(nbytes=nbytes, seconds=seconds, started_at=self.clock)
+        self.ledger.append(record)
+        self.clock += seconds
+        if self.real_sleep:  # pragma: no cover - timing-dependent
+            time.sleep(seconds)
+        return seconds
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(r.nbytes for r in self.ledger)
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(r.seconds for r in self.ledger)

@@ -1,0 +1,113 @@
+"""Exception hierarchy for the Multiple Worlds library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-subsystem errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class PageFault(MemoryError_):
+    """An access touched a virtual page with no mapping."""
+
+    def __init__(self, vpn: int) -> None:
+        super().__init__(f"page fault: no mapping for virtual page {vpn}")
+        self.vpn = vpn
+
+
+class ProtectionFault(MemoryError_):
+    """A write touched a page mapped read-only (outside COW handling)."""
+
+    def __init__(self, vpn: int) -> None:
+        super().__init__(f"protection fault: page {vpn} is read-only")
+        self.vpn = vpn
+
+
+class AddressError(MemoryError_):
+    """An address or length was invalid (negative, out of segment, ...)."""
+
+
+class FileSystemError(ReproError):
+    """Errors from the single-level-store file layer."""
+
+
+class KernelError(ReproError):
+    """Base class for simulation-kernel errors."""
+
+
+class InvalidSyscall(KernelError):
+    """A process yielded something the kernel does not understand."""
+
+
+class ProcessDied(KernelError):
+    """An operation referenced a process that no longer exists."""
+
+
+class DeadlockError(KernelError):
+    """The simulation reached a state where no process can make progress."""
+
+
+class PredicateError(ReproError):
+    """Inconsistent or malformed predicate manipulation."""
+
+
+class SourceAccessError(ReproError):
+    """A predicated (speculative) process tried to touch a source device.
+
+    The paper (section 2.4.2) forbids observable side effects while a
+    process carries unresolved predicates; in ``strict`` gating mode the
+    kernel raises this error instead of blocking the offender.
+    """
+
+
+class WorldsError(ReproError):
+    """Errors from the high-level Multiple Worlds block API."""
+
+
+class AllAlternativesFailed(WorldsError):
+    """Every alternative in a block aborted (guard failure or error)."""
+
+
+class BlockTimeout(WorldsError):
+    """No alternative synchronized within the parent's TIMEOUT."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint/restart (rfork) failures."""
+
+
+class NetworkError(ReproError):
+    """Simulated-network failures."""
+
+
+class PrologError(ReproError):
+    """Errors from the mini-Prolog engine."""
+
+
+class PrologSyntaxError(PrologError):
+    """Parse error in Prolog source text."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        loc = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+        self.column = column
+
+
+class SolverError(ReproError):
+    """Numerical solver failures (non-convergence, bad bracket, ...)."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative numerical method failed to converge."""

@@ -1,0 +1,17 @@
+"""Predicated interprocess communication (paper section 2.4).
+
+Messages are the *only* way one process affects another (section 2.1).
+Every message carries three parts: a sending predicate, the data, and
+control information. Channels are reliable and FIFO.
+
+- :mod:`repro.ipc.message` — the three-part message structure.
+- :mod:`repro.ipc.mailbox` — per-process reliable FIFO queues.
+- :mod:`repro.ipc.router` — the accept / ignore / split receive rule,
+  as pure decision functions consumed by the kernel.
+"""
+
+from repro.ipc.message import Message
+from repro.ipc.mailbox import Mailbox
+from repro.ipc.router import ReceiveAction, decide_receive
+
+__all__ = ["Message", "Mailbox", "ReceiveAction", "decide_receive"]

@@ -1,0 +1,101 @@
+"""Reliable FIFO mailboxes.
+
+Paper section 2.1 assumes IPC "behaves reliably (no lost or duplicated
+messages) and FIFO (no out of order messages)". A :class:`Mailbox` is the
+per-process receive queue; reliability is by construction and FIFO order
+is preserved across predicate-driven discards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.ipc.message import Message
+
+
+class Mailbox:
+    """FIFO queue of messages pending at one receiver."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._queue: deque[Message] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._queue)
+
+    def deliver(self, message: Message) -> None:
+        """Append an arriving message (called by the kernel's router)."""
+        if message.dest != self.owner:
+            raise ValueError(
+                f"message for {message.dest} delivered to mailbox of {self.owner}"
+            )
+        self._queue.append(message)
+
+    def peek(self) -> Message | None:
+        """The head message without removing it."""
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> Message:
+        """Remove and return the head message."""
+        return self._queue.popleft()
+
+    def discard_head(self) -> Message:
+        """Drop the head (an IGNOREd message); returns it for tracing."""
+        return self._queue.popleft()
+
+    def resolve(self, pid: int, completed: bool) -> list[Message]:
+        """Rewrite queued predicates after ``complete(pid)`` resolves.
+
+        Messages whose assumptions became false are removed; the dropped
+        messages are returned for tracing. Order of survivors is kept.
+        """
+        dropped = []
+        survivors: deque[Message] = deque()
+        for msg in self._queue:
+            updated = msg.resolve(pid, completed)
+            if updated is None:
+                dropped.append(msg)
+            else:
+                survivors.append(updated)
+        self._queue = survivors
+        return dropped
+
+    def drain(self, predicate: "Callable[[Message], bool] | None" = None) -> list[Message]:
+        """Remove and return all messages (optionally only matching ones)."""
+        if predicate is None:
+            out = list(self._queue)
+            self._queue.clear()
+            return out
+        kept: deque[Message] = deque()
+        out = []
+        for msg in self._queue:
+            if predicate(msg):
+                out.append(msg)
+            else:
+                kept.append(msg)
+        self._queue = kept
+        return out
+
+    def clone(self, new_owner: int) -> "Mailbox":
+        """A copy of this queue for a split receiver world."""
+        box = Mailbox(new_owner)
+        for msg in self._queue:
+            box._queue.append(
+                Message(
+                    sender=msg.sender,
+                    dest=new_owner,
+                    data=msg.data,
+                    predicate=msg.predicate,
+                    msg_id=msg.msg_id,
+                    sent_at=msg.sent_at,
+                    sender_world=msg.sender_world,
+                )
+            )
+        return box

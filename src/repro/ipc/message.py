@@ -1,0 +1,68 @@
+"""The three-part message of paper section 2.4.1.
+
+1. a *sending predicate* — the assumptions under which the sender sends;
+2. the *data* comprising the message contents;
+3. *control information* — sender id, destination id, a unique message id
+   and the virtual send time.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.predicates import PredicateSet
+
+
+@dataclass(frozen=True)
+class Message:
+    """One immutable message in flight or queued at a receiver.
+
+    ``sender`` is the sending process's logical pid; ``sender_world`` is
+    the specific world (speculative version) that performed the send —
+    the identity a split receiver's ``complete(sender)`` assumption must
+    bind to.
+    """
+
+    sender: int
+    dest: int
+    data: Any
+    predicate: PredicateSet = field(default_factory=PredicateSet)
+    msg_id: int = 0
+    sent_at: float = 0.0
+    sender_world: int = 0
+
+    def size_bytes(self) -> int:
+        """Approximate wire size (pickled payload), for transfer costing."""
+        try:
+            return len(pickle.dumps(self.data, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            return 64  # unpicklable payloads get a nominal size
+
+    def resolve(self, pid: int, completed: bool) -> "Message | None":
+        """Update the carried predicate after ``complete(pid)`` resolves.
+
+        Returns ``None`` when the message's assumptions are now false —
+        the queued message must be discarded (its sender's world died).
+        """
+        new_pred = self.predicate.resolve(pid, completed)
+        if new_pred is None:
+            return None
+        if new_pred is self.predicate:
+            return self
+        return Message(
+            sender=self.sender,
+            dest=self.dest,
+            data=self.data,
+            predicate=new_pred,
+            msg_id=self.msg_id,
+            sent_at=self.sent_at,
+            sender_world=self.sender_world,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Message(#{self.msg_id} {self.sender}->{self.dest}, "
+            f"pred={self.predicate})"
+        )

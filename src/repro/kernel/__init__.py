@@ -1,0 +1,75 @@
+"""Deterministic simulation kernel.
+
+Simulated processes are Python generator functions that ``yield`` syscall
+objects; the kernel charges virtual time for every operation from a
+calibrated :class:`~repro.analysis.calibration.MachineProfile` and
+multiplexes processes over a configurable number of virtual CPUs with
+quantum-based timeslicing.
+
+The kernel owns the full Multiple Worlds semantics:
+
+- ``alt_spawn`` / ``alt_wait`` with COW heap forks, guard placement,
+  commit-by-page-map-replacement, and sync/async sibling elimination
+  (paper section 2.2);
+- predicated messages with the accept / ignore / split receive rule,
+  world cloning by deterministic replay, and predicate-resolution
+  cascades (paper sections 2.3-2.4);
+- sink staging and source gating (paper section 2.1, 2.4.2).
+
+Everything is deterministic: same programs + same seed ⇒ identical
+virtual timeline, world ids and results.
+"""
+
+from repro.kernel.syscalls import (
+    Abort,
+    AltOutcome,
+    AltSpawn,
+    AltWait,
+    Compute,
+    DeviceRead,
+    DeviceWrite,
+    Draw,
+    GetPid,
+    GetPredicates,
+    HeapDelete,
+    HeapGet,
+    HeapPut,
+    HeapSnapshot,
+    Now,
+    Recv,
+    Send,
+    Sleep,
+    TIMEOUT,
+)
+from repro.kernel.process import ProcState, SimProcess
+from repro.kernel.context import Context
+from repro.kernel.kernel import Kernel, UtilizationReport
+from repro.kernel.trace import TraceEvent
+
+__all__ = [
+    "Kernel",
+    "UtilizationReport",
+    "Context",
+    "SimProcess",
+    "ProcState",
+    "TraceEvent",
+    "AltOutcome",
+    "TIMEOUT",
+    "Compute",
+    "HeapPut",
+    "HeapGet",
+    "HeapDelete",
+    "HeapSnapshot",
+    "Send",
+    "Recv",
+    "AltSpawn",
+    "AltWait",
+    "Abort",
+    "DeviceRead",
+    "DeviceWrite",
+    "Draw",
+    "Now",
+    "GetPid",
+    "GetPredicates",
+    "Sleep",
+]

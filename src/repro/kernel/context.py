@@ -1,0 +1,119 @@
+"""The handle a simulated program receives.
+
+``Context`` is a thin namespace of syscall constructors plus the process
+id. Programs do ``result = yield ctx.recv()`` — every method returns a
+syscall object for the program to yield. The composite helpers
+(:meth:`run_alternatives`, :meth:`print`) are generators to delegate to
+with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.core.policy import EliminationPolicy
+from repro.kernel import syscalls as sc
+
+
+class Context:
+    """Per-process syscall factory handed to every simulated program."""
+
+    def __init__(self, pid: int, name: str) -> None:
+        self.pid = pid
+        self.name = name
+
+    # -- basic ops ---------------------------------------------------------
+    def compute(self, seconds: float) -> sc.Compute:
+        return sc.Compute(seconds)
+
+    def sleep(self, seconds: float) -> sc.Sleep:
+        return sc.Sleep(seconds)
+
+    def now(self) -> sc.Now:
+        return sc.Now()
+
+    def abort(self, reason: str = "") -> sc.Abort:
+        return sc.Abort(reason)
+
+    # -- heap ------------------------------------------------------------------
+    def put(self, key: str, value: Any) -> sc.HeapPut:
+        return sc.HeapPut(key, value)
+
+    def get(self, key: str, default: Any = None) -> sc.HeapGet:
+        return sc.HeapGet(key, default)
+
+    def delete(self, key: str) -> sc.HeapDelete:
+        return sc.HeapDelete(key)
+
+    def snapshot(self) -> sc.HeapSnapshot:
+        return sc.HeapSnapshot()
+
+    # -- IPC ----------------------------------------------------------------------
+    def send(self, dest: int, data: Any) -> sc.Send:
+        return sc.Send(dest, data)
+
+    def recv(self, timeout: float | None = None) -> sc.Recv:
+        return sc.Recv(timeout)
+
+    # -- worlds ---------------------------------------------------------------------
+    def alt_spawn(self, alternatives: Sequence[Any]) -> sc.AltSpawn:
+        return sc.AltSpawn(tuple(alternatives))
+
+    def alt_wait(
+        self,
+        timeout: float | None = None,
+        elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+    ) -> sc.AltWait:
+        return sc.AltWait(timeout, elimination)
+
+    def run_alternatives(
+        self,
+        alternatives: Sequence[Any],
+        timeout: float | None = None,
+        elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+    ) -> Generator[Any, Any, sc.AltOutcome]:
+        """Spawn + wait in one step: ``outcome = yield from ctx.run_alternatives(...)``."""
+        yield sc.AltSpawn(tuple(alternatives))
+        outcome = yield sc.AltWait(timeout, elimination)
+        return outcome
+
+    # -- devices ----------------------------------------------------------------------
+    def device_write(self, device: str, data: bytes, offset: int = 0) -> sc.DeviceWrite:
+        return sc.DeviceWrite(device, data, offset)
+
+    def device_read(self, device: str, nbytes: int, offset: int = 0) -> sc.DeviceRead:
+        return sc.DeviceRead(device, nbytes, offset)
+
+    def print(self, text: str) -> Generator[Any, Any, None]:
+        """Write a line to the teletype: ``yield from ctx.print("hi")``.
+
+        Subject to source gating: a speculative world blocks here until
+        its predicates resolve.
+        """
+        yield sc.DeviceWrite("tty", (text + "\n").encode())
+
+    # -- randomness ------------------------------------------------------------------------
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> sc.Draw:
+        return sc.Draw("uniform", (low, high))
+
+    def integers(self, low: int, high: int) -> sc.Draw:
+        return sc.Draw("integers", (low, high))
+
+    def angle(self) -> sc.Draw:
+        return sc.Draw("angle", ())
+
+    def exponential(self, scale: float = 1.0) -> sc.Draw:
+        return sc.Draw("exponential", (scale,))
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> sc.Draw:
+        return sc.Draw("normal", (loc, scale))
+
+    # -- introspection ---------------------------------------------------------------------
+    def predicates(self) -> sc.GetPredicates:
+        return sc.GetPredicates()
+
+    def getpid(self) -> sc.GetPid:
+        return sc.GetPid()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Context(pid={self.pid}, name={self.name!r})"

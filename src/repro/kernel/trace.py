@@ -1,0 +1,56 @@
+"""Kernel event traces.
+
+Every interesting kernel action can be recorded as a :class:`TraceEvent`;
+the Figure 1 / Figure 2 benches render these into the paper's diagrams in
+text form, and tests assert ordering properties against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped kernel event."""
+
+    time: float
+    kind: str
+    pid: int
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        details = ", ".join(f"{k}={v}" for k, v in sorted(self.info.items()))
+        return f"[{self.time:12.6f}s] pid {self.pid:>4} {self.kind:<18} {details}"
+
+
+class Trace:
+    """An append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True, limit: int | None = None) -> None:
+        self.enabled = enabled
+        self.limit = limit
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, kind: str, pid: int, **info: Any) -> None:
+        if not self.enabled:
+            return
+        if self.limit is not None and len(self.events) >= self.limit:
+            return
+        self.events.append(TraceEvent(time, kind, pid, info))
+
+    def of_kind(self, *kinds: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind in kinds]
+
+    def for_pid(self, pid: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.pid == pid]
+
+    def render(self) -> str:
+        return "\n".join(str(e) for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,45 @@
+"""Paged, copy-on-write memory: the paper's "sink state" substrate.
+
+The paper (section 2.1) buries the entire memory hierarchy under a fixed-size
+page abstraction: all sink state is pages, files are named sets of pages, and
+each process sees state through a per-process page table inherited
+copy-on-write from its parent (section 2.3, Figure 2).
+
+This package provides that substrate:
+
+- :class:`~repro.memory.frame.Frame` / :class:`~repro.memory.frame.FramePool`
+  — reference-counted physical pages.
+- :class:`~repro.memory.pagetable.PageTable` — per-process virtual mappings
+  with COW fork, fault accounting and atomic replacement (the ``alt_wait``
+  commit).
+- :class:`~repro.memory.address_space.AddressSpace` — byte-addressable view.
+- :class:`~repro.memory.heap.PagedHeap` — a dict-like object store whose
+  values live in pages, so ordinary workloads exercise the COW machinery.
+- :class:`~repro.memory.store.SingleLevelStore` — files as named page sets.
+- :class:`~repro.memory.stats.MemoryStats` — counters behind the paper's
+  "write fraction" measurements (section 3.4).
+"""
+
+from repro.memory.frame import Frame, FramePool
+from repro.memory.pagetable import PageTable
+from repro.memory.address_space import AddressSpace
+from repro.memory.heap import PagedHeap
+from repro.memory.stats import MemoryStats
+from repro.memory.store import SingleLevelStore, StoredFile
+from repro.memory.valueworlds import ValueWorld, VersionedStore
+
+DEFAULT_PAGE_SIZE = 4096
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "Frame",
+    "FramePool",
+    "PageTable",
+    "AddressSpace",
+    "PagedHeap",
+    "MemoryStats",
+    "SingleLevelStore",
+    "StoredFile",
+    "VersionedStore",
+    "ValueWorld",
+]

@@ -1,0 +1,117 @@
+"""Byte-addressable process address spaces over paged COW memory.
+
+An :class:`AddressSpace` gives a process the flat-bytes view it expects
+while every actual access decomposes into page-granularity operations on a
+:class:`~repro.memory.pagetable.PageTable`, so COW sharing and fault
+accounting stay precise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+from repro.memory.frame import FramePool
+from repro.memory.pagetable import PageTable
+from repro.memory.stats import WriteFractionReport
+
+
+class AddressSpace:
+    """A flat byte-addressed space with a bump allocator.
+
+    The space starts empty; :meth:`alloc` hands out address ranges and
+    reads/writes may span page boundaries. Forking produces a COW child
+    space; :meth:`replace_with` commits a child's space into the parent.
+    """
+
+    def __init__(self, pool: FramePool, table: PageTable | None = None, brk: int = 0) -> None:
+        self.pool = pool
+        self.table = table if table is not None else PageTable(pool)
+        self._brk = brk
+
+    @property
+    def page_size(self) -> int:
+        return self.pool.page_size
+
+    @property
+    def brk(self) -> int:
+        """Current top of the allocated region."""
+        return self._brk
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        """Reserve ``nbytes`` and return the start address."""
+        if nbytes < 0:
+            raise AddressError(f"cannot allocate {nbytes} bytes")
+        if align < 1:
+            raise AddressError(f"bad alignment {align}")
+        start = (self._brk + align - 1) // align * align
+        self._brk = start + nbytes
+        return start
+
+    def alloc_pages(self, npages: int) -> int:
+        """Reserve ``npages`` whole pages, returning a page-aligned address."""
+        if npages < 0:
+            raise AddressError(f"cannot allocate {npages} pages")
+        return self.alloc(npages * self.page_size, align=self.page_size)
+
+    # -- access ---------------------------------------------------------------
+    def _span(self, addr: int, length: int) -> list[tuple[int, int, int]]:
+        """Decompose ``[addr, addr+length)`` into (vpn, offset, count) runs."""
+        if addr < 0 or length < 0:
+            raise AddressError(f"bad access addr={addr} length={length}")
+        runs = []
+        pos = addr
+        remaining = length
+        while remaining > 0:
+            vpn, offset = divmod(pos, self.page_size)
+            count = min(remaining, self.page_size - offset)
+            runs.append((vpn, offset, count))
+            pos += count
+            remaining -= count
+        return runs
+
+    def read(self, addr: int, length: int) -> bytes:
+        """``length`` bytes starting at ``addr`` (zero for untouched pages)."""
+        pieces = []
+        for vpn, offset, count in self._span(addr, length):
+            if vpn in self.table:
+                pieces.append(self.table.read_slice(vpn, offset, count))
+            else:
+                pieces.append(bytes(count))
+        return b"".join(pieces)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr`` (may span pages)."""
+        pos = 0
+        for vpn, offset, count in self._span(addr, len(data)):
+            self.table.write(vpn, data[pos : pos + count], offset)
+            pos += count
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, int(value).to_bytes(8, "little", signed=False))
+
+    # -- fork / commit ----------------------------------------------------------
+    def fork(self) -> "AddressSpace":
+        """A COW child space sharing every current page."""
+        return AddressSpace(self.pool, self.table.fork(), self._brk)
+
+    def replace_with(self, winner: "AddressSpace") -> None:
+        """Atomically adopt ``winner``'s pages and break value (commit)."""
+        self.table.replace_with(winner.table)
+        self._brk = winner._brk
+
+    def release(self) -> None:
+        """Free every mapping (process teardown)."""
+        self.table.release()
+
+    # -- measurement ---------------------------------------------------------------
+    def write_fraction(self) -> WriteFractionReport:
+        return self.table.write_fraction()
+
+    def same_content(self, other: "AddressSpace") -> bool:
+        return self.table.same_content(other.table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AddressSpace(pages={len(self.table)}, brk={self._brk})"

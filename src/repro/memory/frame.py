@@ -1,0 +1,101 @@
+"""Physical page frames with reference counting.
+
+A :class:`Frame` is one fixed-size physical page. COW sharing works by
+letting multiple page tables map the same frame; the frame's refcount says
+how many mappings exist, and a write through a table that does not own the
+frame exclusively copies it first (see
+:meth:`repro.memory.pagetable.PageTable.write`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+from repro.memory.stats import MemoryStats
+from repro.util.ids import IdAllocator
+
+
+class Frame:
+    """One physical page: ``page_size`` bytes plus a refcount.
+
+    Frames are created and copied only through a :class:`FramePool` so the
+    pool's :class:`~repro.memory.stats.MemoryStats` sees every allocation.
+    """
+
+    __slots__ = ("fid", "data", "refcount")
+
+    def __init__(self, fid: int, data: bytearray) -> None:
+        self.fid = fid
+        self.data = data
+        self.refcount = 1
+
+    @property
+    def shared(self) -> bool:
+        """True when more than one mapping references this frame."""
+        return self.refcount > 1
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Frame(fid={self.fid}, refs={self.refcount}, size={len(self.data)})"
+
+
+class FramePool:
+    """Allocator for :class:`Frame` objects of one fixed page size.
+
+    The pool is the "physical memory" of one simulated machine. It exists
+    to centralize accounting: every zero-fill allocation, COW copy and
+    release increments the shared :class:`MemoryStats`.
+    """
+
+    def __init__(self, page_size: int = 4096, stats: MemoryStats | None = None) -> None:
+        if page_size <= 0:
+            raise AddressError(f"page size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else MemoryStats()
+        self._ids = IdAllocator()
+        self.live_frames = 0
+
+    def allocate(self, data: bytes | bytearray | None = None) -> Frame:
+        """A fresh frame, zero-filled or initialized from ``data``.
+
+        ``data`` shorter than a page is zero-padded; longer is an error.
+        """
+        if data is None:
+            payload = bytearray(self.page_size)
+        else:
+            if len(data) > self.page_size:
+                raise AddressError(
+                    f"frame payload of {len(data)} bytes exceeds page size {self.page_size}"
+                )
+            payload = bytearray(data) + bytearray(self.page_size - len(data))
+        frame = Frame(self._ids.next(), payload)
+        self.stats.frames_allocated += 1
+        self.live_frames += 1
+        return frame
+
+    def copy(self, frame: Frame) -> Frame:
+        """A private duplicate of ``frame`` (the COW copy operation)."""
+        clone = Frame(self._ids.next(), bytearray(frame.data))
+        self.stats.frames_allocated += 1
+        self.stats.pages_copied += 1
+        self.stats.bytes_copied += len(frame.data)
+        self.live_frames += 1
+        return clone
+
+    def retain(self, frame: Frame) -> Frame:
+        """Add one reference to ``frame`` (a new shared mapping)."""
+        frame.refcount += 1
+        return frame
+
+    def release(self, frame: Frame) -> None:
+        """Drop one reference; reclaim the frame when none remain."""
+        if frame.refcount <= 0:
+            raise AddressError(f"double release of frame {frame.fid}")
+        frame.refcount -= 1
+        if frame.refcount == 0:
+            self.stats.frames_freed += 1
+            self.live_frames -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FramePool(page_size={self.page_size}, live={self.live_frames})"

@@ -1,0 +1,127 @@
+"""A dict-like object heap stored in paged memory.
+
+Workloads need to manipulate ordinary Python values while still exercising
+the COW machinery — state must live in pages for the "Multiple Worlds"
+write-fraction economics to be real. :class:`PagedHeap` pickles values into
+an :class:`~repro.memory.address_space.AddressSpace` and keeps a small
+per-process descriptor table (name → extent), mirroring the per-process
+descriptor table of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Iterator
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.frame import FramePool
+
+
+class PagedHeap:
+    """Named, picklable values backed by COW pages.
+
+    Updating a value allocates a fresh extent and rewrites the descriptor,
+    so an update touches only the pages holding that value — exactly the
+    "updated and newly-written pages are predicated by virtue of their
+    residence in a per-process descriptor table" behaviour of Figure 2.
+    Freed extents go on a first-fit free list.
+    """
+
+    def __init__(self, space: AddressSpace | None = None, pool: FramePool | None = None) -> None:
+        if space is None:
+            if pool is None:
+                pool = FramePool()
+            space = AddressSpace(pool)
+        self.space = space
+        self._index: dict[str, tuple[int, int]] = {}
+        self._free: list[tuple[int, int]] = []
+
+    # -- allocation ------------------------------------------------------------
+    def _take_extent(self, nbytes: int) -> int:
+        for i, (addr, size) in enumerate(self._free):
+            if size >= nbytes:
+                del self._free[i]
+                if size > nbytes:
+                    self._free.append((addr + nbytes, size - nbytes))
+                return addr
+        return self.space.alloc(nbytes)
+
+    def _release_extent(self, addr: int, size: int) -> None:
+        if size > 0:
+            self._free.append((addr, size))
+
+    # -- dict interface ----------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (replacing any previous value)."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        addr = self._take_extent(len(blob))
+        self.space.write(addr, blob)
+        old = self._index.get(key)
+        self._index[key] = (addr, len(blob))
+        if old is not None:
+            self._release_extent(*old)
+
+    def get(self, key: str) -> Any:
+        """The value stored under ``key``."""
+        try:
+            addr, size = self._index[key]
+        except KeyError:
+            raise KeyError(key) from None
+        return pickle.loads(self.space.read(addr, size))
+
+    def delete(self, key: str) -> None:
+        try:
+            addr, size = self._index.pop(key)
+        except KeyError:
+            raise KeyError(key) from None
+        self._release_extent(addr, size)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> list[str]:
+        return sorted(self._index)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        for key in self.keys():
+            yield key, self.get(key)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A plain dict snapshot of every stored value."""
+        return {key: self.get(key) for key in self.keys()}
+
+    def update(self, mapping: dict[str, Any]) -> None:
+        for key, value in mapping.items():
+            self.put(key, value)
+
+    # -- fork / commit --------------------------------------------------------------
+    def fork(self) -> "PagedHeap":
+        """A COW child heap: shared pages, copied descriptor table."""
+        child = PagedHeap(self.space.fork())
+        child._index = dict(self._index)
+        child._free = list(self._free)
+        return child
+
+    def replace_with(self, winner: "PagedHeap") -> None:
+        """Commit ``winner``'s state into this heap (``alt_wait`` absorb)."""
+        if winner is self:
+            return
+        self.space.replace_with(winner.space)
+        self._index = winner._index
+        self._free = winner._free
+        winner._index = {}
+        winner._free = []
+
+    def release(self) -> None:
+        self.space.release()
+        self._index = {}
+        self._free = []
+
+    def write_fraction(self):
+        return self.space.write_fraction()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PagedHeap(keys={len(self._index)}, pages={len(self.space.table)})"

@@ -1,0 +1,249 @@
+"""Per-process page tables with copy-on-write inheritance.
+
+This is the state-management strategy of paper section 2.3: "copy-on-write
+with page map inheritance from the parent". A fork copies only the page
+*map*; frames stay shared until written. ``alt_wait``'s commit (section 2.2)
+is :meth:`PageTable.replace_with` — the parent atomically replaces its page
+pointer with the child's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import AddressError, PageFault
+from repro.memory.frame import Frame, FramePool
+from repro.memory.stats import MemoryStats, WriteFractionReport
+
+
+class PageTable:
+    """Virtual page number → :class:`Frame` mapping for one process.
+
+    All tables of one machine share a :class:`FramePool`; COW copies and
+    zero fills are charged to the pool's stats. A table additionally tracks
+    which of its mappings were inherited at the most recent fork and which
+    of those it has privatized since, which yields the paper's *write
+    fraction* directly.
+    """
+
+    def __init__(self, pool: FramePool) -> None:
+        self.pool = pool
+        self._entries: dict[int, Frame] = {}
+        self._inherited: frozenset[int] = frozenset()
+        self._privatized: set[int] = set()
+        self._created: set[int] = set()
+        self._released = False
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        return self.pool.page_size
+
+    @property
+    def stats(self) -> MemoryStats:
+        return self.pool.stats
+
+    def mapped_vpns(self) -> list[int]:
+        """Sorted virtual page numbers with a mapping."""
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._entries))
+
+    def frame_of(self, vpn: int) -> Frame:
+        """The frame currently backing ``vpn`` (faults if unmapped)."""
+        try:
+            return self._entries[vpn]
+        except KeyError:
+            raise PageFault(vpn) from None
+
+    def resident_bytes(self) -> int:
+        """Bytes of *unique* physical memory this table references.
+
+        Shared frames are charged fractionally (1/refcount) so summing
+        ``resident_bytes`` over all tables of a pool never exceeds the
+        pool's physical footprint.
+        """
+        return int(
+            sum(len(f.data) / f.refcount for f in self._entries.values())
+        )
+
+    # -- mapping management --------------------------------------------------
+    def _check_live(self) -> None:
+        if self._released:
+            raise AddressError("page table used after release")
+
+    def map_new(self, vpn: int, data: bytes | None = None) -> Frame:
+        """Map a fresh private frame at ``vpn`` (zero-filled or ``data``)."""
+        self._check_live()
+        if vpn < 0:
+            raise AddressError(f"negative virtual page number {vpn}")
+        if vpn in self._entries:
+            raise AddressError(f"page {vpn} is already mapped")
+        frame = self.pool.allocate(data)
+        self._entries[vpn] = frame
+        self._created.add(vpn)
+        return frame
+
+    def map_shared(self, vpn: int, frame: Frame) -> None:
+        """Map an existing frame at ``vpn``, sharing it (file mapping)."""
+        self._check_live()
+        if vpn < 0:
+            raise AddressError(f"negative virtual page number {vpn}")
+        if vpn in self._entries:
+            raise AddressError(f"page {vpn} is already mapped")
+        self._entries[vpn] = self.pool.retain(frame)
+
+    def ensure(self, vpn: int) -> Frame:
+        """The frame at ``vpn``, demand-zero-mapping it if absent."""
+        self._check_live()
+        if vpn in self._entries:
+            return self._entries[vpn]
+        return self.map_new(vpn)
+
+    def unmap(self, vpn: int) -> None:
+        """Remove the mapping at ``vpn`` and drop its frame reference."""
+        self._check_live()
+        frame = self.frame_of(vpn)
+        self.pool.release(frame)
+        del self._entries[vpn]
+        self._privatized.discard(vpn)
+        self._created.discard(vpn)
+
+    # -- access ---------------------------------------------------------------
+    def read(self, vpn: int) -> bytes:
+        """The full content of page ``vpn`` as immutable bytes."""
+        self._check_live()
+        self.stats.page_reads += 1
+        return bytes(self.frame_of(vpn).data)
+
+    def read_slice(self, vpn: int, offset: int, length: int) -> bytes:
+        """``length`` bytes starting at ``offset`` within page ``vpn``."""
+        self._check_live()
+        if offset < 0 or length < 0 or offset + length > self.page_size:
+            raise AddressError(
+                f"slice [{offset}:{offset + length}] outside page of {self.page_size} bytes"
+            )
+        self.stats.page_reads += 1
+        return bytes(self.frame_of(vpn).data[offset : offset + length])
+
+    def write(self, vpn: int, data: bytes, offset: int = 0) -> None:
+        """Write ``data`` into page ``vpn`` at ``offset``, COW-copying first.
+
+        Writing to an unmapped page demand-zero-maps it (heap growth). A
+        write to a frame shared with any other table copies the frame into
+        this table first and counts one COW fault.
+        """
+        self._check_live()
+        if offset < 0 or offset + len(data) > self.page_size:
+            raise AddressError(
+                f"write [{offset}:{offset + len(data)}] outside page of {self.page_size} bytes"
+            )
+        if vpn not in self._entries:
+            frame = self.map_new(vpn)
+        else:
+            frame = self._entries[vpn]
+            if frame.shared:
+                private = self.pool.copy(frame)
+                self.pool.release(frame)
+                self._entries[vpn] = private
+                self.stats.cow_faults += 1
+                if vpn in self._inherited:
+                    self._privatized.add(vpn)
+                frame = private
+        frame.data[offset : offset + len(data)] = data
+        self.stats.page_writes += 1
+
+    # -- fork / commit / release ----------------------------------------------
+    def fork(self) -> "PageTable":
+        """A COW child table: same mappings, every frame now shared.
+
+        Only page-table entries are copied (``pte_copies``); no page data
+        moves until somebody writes.
+        """
+        self._check_live()
+        child = PageTable(self.pool)
+        for vpn, frame in self._entries.items():
+            child._entries[vpn] = self.pool.retain(frame)
+        inherited = frozenset(self._entries)
+        child._inherited = inherited
+        child._privatized = set()
+        child._created = set()
+        # The parent's pages are equally shared from this point; reset its
+        # tracking so its write fraction is measured against the same event.
+        self._inherited = inherited
+        self._privatized = set()
+        self._created = set()
+        self.stats.forks += 1
+        self.stats.pte_copies += len(self._entries)
+        return child
+
+    def replace_with(self, winner: "PageTable") -> None:
+        """Atomically become ``winner`` (the ``alt_wait`` commit).
+
+        The parent absorbs the selected child's state by taking over its
+        mappings wholesale; the child table is consumed (released) in the
+        process. After this call reads through ``self`` see exactly the
+        winner's pages — never a partial mix.
+        """
+        self._check_live()
+        winner._check_live()
+        if winner is self:
+            return
+        if winner.pool is not self.pool:
+            raise AddressError("cannot commit a page table from a different pool")
+        for frame in self._entries.values():
+            self.pool.release(frame)
+        self._entries = winner._entries
+        self._inherited = frozenset()
+        self._privatized = set()
+        self._created = set()
+        winner._entries = {}
+        winner._released = True
+
+    def release(self) -> None:
+        """Drop every mapping (process death / sibling elimination)."""
+        if self._released:
+            return
+        for frame in self._entries.values():
+            self.pool.release(frame)
+        self._entries = {}
+        self._released = True
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    # -- measurement ------------------------------------------------------------
+    def write_fraction(self) -> WriteFractionReport:
+        """Distinct inherited pages privatized since the last fork."""
+        return WriteFractionReport(
+            pages_inherited=len(self._inherited),
+            pages_written=len(self._privatized),
+            pages_created=len(self._created),
+        )
+
+    def same_content(self, other: "PageTable") -> bool:
+        """True when both tables map the same vpns to equal byte content."""
+        if set(self._entries) != set(other._entries):
+            return False
+        return all(
+            self._entries[vpn].data == other._entries[vpn].data
+            for vpn in self._entries
+        )
+
+    def content_dict(self) -> dict[int, bytes]:
+        """A plain ``{vpn: bytes}`` snapshot (test/debug helper)."""
+        return {vpn: bytes(f.data) for vpn, f in self._entries.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PageTable(pages={len(self._entries)}, "
+            f"inherited={len(self._inherited)}, privatized={len(self._privatized)})"
+        )

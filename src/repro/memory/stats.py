@@ -1,0 +1,80 @@
+"""Memory-operation counters.
+
+The paper's overhead analysis (sections 3.1 and 3.4) is driven by how many
+pages a speculative child actually copies: the *write fraction*. Smith &
+Maguire measured write fractions of 0.2-0.5 in their fork study [18]; these
+counters let every experiment report the same quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryStats:
+    """Mutable counter bundle shared by the page tables of one machine.
+
+    Attributes
+    ----------
+    frames_allocated:
+        Fresh physical frames created (zero-fill or explicit map).
+    frames_freed:
+        Frames whose refcount reached zero.
+    cow_faults:
+        Writes that hit a shared frame and triggered a private copy.
+    pages_copied:
+        Frames duplicated (one per COW fault, plus eager copies).
+    bytes_copied:
+        Payload bytes moved by those copies.
+    page_reads / page_writes:
+        Page-granularity access counts.
+    forks:
+        Page-table forks performed.
+    pte_copies:
+        Page-table entries duplicated by forks (the "page map" copy cost).
+    """
+
+    frames_allocated: int = 0
+    frames_freed: int = 0
+    cow_faults: int = 0
+    pages_copied: int = 0
+    bytes_copied: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    forks: int = 0
+    pte_copies: int = 0
+
+    def snapshot(self) -> "MemoryStats":
+        """An independent copy of the current counter values."""
+        return MemoryStats(**vars(self))
+
+    def delta(self, earlier: "MemoryStats") -> "MemoryStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return MemoryStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
+    def reset(self) -> None:
+        for key in vars(self):
+            setattr(self, key, 0)
+
+
+@dataclass
+class WriteFractionReport:
+    """Write fraction of one forked child, as in the paper's fork study.
+
+    ``fraction = pages_written / pages_inherited`` where ``pages_written``
+    counts *distinct* inherited pages the child privatized via COW.
+    """
+
+    pages_inherited: int
+    pages_written: int
+    pages_created: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def fraction(self) -> float:
+        if self.pages_inherited == 0:
+            return 0.0
+        return self.pages_written / self.pages_inherited

@@ -1,0 +1,126 @@
+"""Single-level store: files as named sets of pages.
+
+Paper section 2.1: "files are named sets of pages", with the entire memory
+hierarchy buried under the page abstraction (the MULTICS single-level-store
+argument). The store is *sink* state — page operations are idempotent, so
+speculative worlds may read file pages freely and their private writes stay
+hidden until commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FileSystemError
+from repro.memory.address_space import AddressSpace
+from repro.memory.frame import Frame, FramePool
+
+
+@dataclass
+class StoredFile:
+    """A named set of pages plus the file's true byte length."""
+
+    name: str
+    frames: list[Frame] = field(default_factory=list)
+    length: int = 0
+
+    @property
+    def pages(self) -> int:
+        return len(self.frames)
+
+
+class SingleLevelStore:
+    """A flat namespace of page-backed files sharing one frame pool.
+
+    Mapping a file into an address space shares the file's frames COW-style
+    (a *private* mapping): reads hit the same physical pages that back the
+    file, the first write to a page privatizes it in the mapping process,
+    and the file itself only changes via :meth:`write_file` /
+    :meth:`sync_back`.
+    """
+
+    def __init__(self, pool: FramePool | None = None, page_size: int = 4096) -> None:
+        self.pool = pool if pool is not None else FramePool(page_size)
+        self._files: dict[str, StoredFile] = {}
+
+    @property
+    def page_size(self) -> int:
+        return self.pool.page_size
+
+    # -- namespace ------------------------------------------------------------
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def names(self) -> list[str]:
+        return sorted(self._files)
+
+    def stat(self, name: str) -> StoredFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileSystemError(f"no such file: {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        stored = self.stat(name)
+        for frame in stored.frames:
+            self.pool.release(frame)
+        del self._files[name]
+
+    # -- whole-file I/O ----------------------------------------------------------
+    def write_file(self, name: str, data: bytes) -> StoredFile:
+        """Create or replace ``name`` with ``data``, split into pages."""
+        if self.exists(name):
+            self.delete(name)
+        frames = []
+        for start in range(0, len(data), self.page_size):
+            frames.append(self.pool.allocate(data[start : start + self.page_size]))
+        if not data:
+            frames = []
+        stored = StoredFile(name, frames, len(data))
+        self._files[name] = stored
+        return stored
+
+    def read_file(self, name: str) -> bytes:
+        """The full content of ``name``."""
+        stored = self.stat(name)
+        blob = b"".join(bytes(f.data) for f in stored.frames)
+        return blob[: stored.length]
+
+    def append(self, name: str, data: bytes) -> StoredFile:
+        """Append ``data`` (rewrites the final partial page if any)."""
+        current = self.read_file(name) if self.exists(name) else b""
+        return self.write_file(name, current + data)
+
+    # -- page mapping -------------------------------------------------------------
+    def map_into(self, space: AddressSpace, name: str) -> int:
+        """Map ``name``'s pages into ``space`` privately; return base address.
+
+        The mapping shares the file's frames; the mapper's first write to
+        any page triggers an ordinary COW copy, leaving the file untouched.
+        """
+        if space.pool is not self.pool:
+            raise FileSystemError(
+                "address space and store must share a frame pool to map files"
+            )
+        stored = self.stat(name)
+        base = space.alloc_pages(max(stored.pages, 1))
+        base_vpn = base // self.page_size
+        for i, frame in enumerate(stored.frames):
+            space.table.map_shared(base_vpn + i, frame)
+        return base
+
+    def sync_back(self, space: AddressSpace, name: str, base: int) -> None:
+        """Write the mapped region at ``base`` back into the file.
+
+        This is the explicit commit of a private mapping — the equivalent
+        of msync() for our COW-only mapping model.
+        """
+        stored = self.stat(name)
+        data = space.read(base, stored.length)
+        self.write_file(name, data)
+
+    def total_pages(self) -> int:
+        return sum(f.pages for f in self._files.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SingleLevelStore(files={len(self._files)}, pages={self.total_pages()})"

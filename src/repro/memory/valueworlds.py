@@ -1,0 +1,168 @@
+"""Value-granularity worlds: the Wilson §5 comparator, executable.
+
+Paper section 5 contrasts page-based "Multiple Worlds" with Wilson's
+value-based "Alternate Universes". :class:`VersionedStore` implements the
+value-based side: each world is a delta dict over a shared base, every
+reference pays a software lookup chain (no MMU doing the check for
+free), and copies happen per *object* written.
+
+The instrumentation mirrors :class:`~repro.memory.stats.MemoryStats` so
+the two schemes can be compared on the same workload: ``ref_checks``
+(the per-reference tax), ``object_copies`` and ``bytes_copied``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import WorldsError
+
+
+@dataclass
+class ValueStats:
+    """Software bookkeeping counters of the value-based scheme."""
+
+    ref_checks: int = 0
+    object_copies: int = 0
+    bytes_copied: int = 0
+    worlds_created: int = 0
+    commits: int = 0
+    discards: int = 0
+
+
+class ValueWorld:
+    """One speculative view: a delta over its parent chain."""
+
+    __slots__ = ("store", "world_id", "parent", "_delta", "_deleted", "live")
+
+    def __init__(self, store: "VersionedStore", world_id: int,
+                 parent: "ValueWorld | None") -> None:
+        self.store = store
+        self.world_id = world_id
+        self.parent = parent
+        self._delta: dict[str, Any] = {}
+        self._deleted: set[str] = set()
+        self.live = True
+
+    # -- access -----------------------------------------------------------
+    def _check_live(self) -> None:
+        if not self.live:
+            raise WorldsError(f"value world {self.world_id} used after close")
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read through the delta chain; every hop is a software check."""
+        self._check_live()
+        world: ValueWorld | None = self
+        while world is not None:
+            self.store.stats.ref_checks += 1
+            if key in world._deleted:
+                return default
+            if key in world._delta:
+                return world._delta[key]
+            world = world.parent
+        self.store.stats.ref_checks += 1
+        return self.store._base.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        """Write into this world's delta; first write copies the object."""
+        self._check_live()
+        self.store.stats.ref_checks += 1
+        if key not in self._delta:
+            self.store.stats.object_copies += 1
+            try:
+                self.store.stats.bytes_copied += len(
+                    pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            except Exception:
+                self.store.stats.bytes_copied += 64
+        self._delta[key] = value
+        self._deleted.discard(key)
+
+    def delete(self, key: str) -> None:
+        self._check_live()
+        self.store.stats.ref_checks += 1
+        self._delta.pop(key, None)
+        self._deleted.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def keys(self) -> list[str]:
+        """All visible keys (walks the whole chain)."""
+        self._check_live()
+        visible = set(self.store._base)
+        chain = []
+        world: ValueWorld | None = self
+        while world is not None:
+            chain.append(world)
+            world = world.parent
+        for w in reversed(chain):  # oldest first so deletions layer right
+            visible -= w._deleted
+            visible |= set(w._delta)
+        return sorted(visible)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {k: self.get(k) for k in self.keys()}
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        for key in self.keys():
+            yield key, self.get(key)
+
+    # -- lifecycle ------------------------------------------------------------
+    def fork(self) -> "ValueWorld":
+        """A child world layered on this one (near-zero startup cost)."""
+        self._check_live()
+        return self.store._new_world(parent=self)
+
+    def commit(self) -> None:
+        """Fold this world's delta into its parent (or the base)."""
+        self._check_live()
+        target_delta: dict[str, Any]
+        if self.parent is not None:
+            self.parent._check_live()
+            target_delta = self.parent._delta
+            for key in self._deleted:
+                target_delta.pop(key, None)
+                self.parent._deleted.add(key)
+            target_delta.update(self._delta)
+            for key in self._delta:
+                self.parent._deleted.discard(key)
+        else:
+            for key in self._deleted:
+                self.store._base.pop(key, None)
+            self.store._base.update(self._delta)
+        self.store.stats.commits += 1
+        self.live = False
+
+    def discard(self) -> None:
+        """Throw this world away; nothing it wrote is observable."""
+        self._check_live()
+        self.store.stats.discards += 1
+        self._delta.clear()
+        self._deleted.clear()
+        self.live = False
+
+
+class VersionedStore:
+    """A base state plus a tree of value-granularity worlds."""
+
+    def __init__(self, base: dict[str, Any] | None = None) -> None:
+        self._base: dict[str, Any] = dict(base or {})
+        self.stats = ValueStats()
+        self._next_world = 1
+
+    def _new_world(self, parent: ValueWorld | None) -> ValueWorld:
+        world = ValueWorld(self, self._next_world, parent)
+        self._next_world += 1
+        self.stats.worlds_created += 1
+        return world
+
+    def root_world(self) -> ValueWorld:
+        """A world writing directly over the base (commit publishes)."""
+        return self._new_world(parent=None)
+
+    def base_snapshot(self) -> dict[str, Any]:
+        return dict(self._base)

@@ -1,0 +1,160 @@
+"""Checkpoint/restart: the substrate of the paper's remote fork.
+
+Smith & Ioannidis [19] implemented ``rfork()`` without kernel changes by
+dumping the process into a file "in such a way that the file is
+executable; a bootstrapping routine restores the registers and data
+segments and returns control to the caller of the checkpoint routine when
+this file is executed. A return value is used to distinguish between
+return of control in the checkpoint and in the calling process."
+
+The Python equivalent checkpoints a *task* — a top-level callable plus its
+workspace state — into one self-contained byte image. Restarting the
+image re-enters the callable with the saved state; the setjmp-style
+return-value convention is preserved by :func:`checkpoint_here`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import CheckpointError
+
+_MAGIC = b"MWCKPT1\n"
+
+
+@dataclass
+class CheckpointImage:
+    """A self-contained, restartable process image."""
+
+    name: str
+    payload: bytes  # pickled (fn, state)
+    created_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def capture(cls, fn: Callable[[dict], Any], state: dict, name: str = "task") -> "CheckpointImage":
+        """Serialize ``fn`` + ``state`` into an image.
+
+        ``fn`` must be picklable (an importable top-level function); the
+        state must be a picklable dict. Raises
+        :class:`~repro.errors.CheckpointError` otherwise.
+        """
+        try:
+            payload = pickle.dumps((fn, state), protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(f"cannot checkpoint {name!r}: {exc}") from exc
+        return cls(name=name, payload=payload, created_at=time.time())
+
+    # -- the "executable file" format -------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = self.name.encode()
+        return (
+            _MAGIC
+            + struct.pack("<Qd", len(header), self.created_at)
+            + header
+            + self.payload
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CheckpointImage":
+        if not blob.startswith(_MAGIC):
+            raise CheckpointError("not a checkpoint image (bad magic)")
+        offset = len(_MAGIC)
+        name_len, created_at = struct.unpack_from("<Qd", blob, offset)
+        offset += struct.calcsize("<Qd")
+        name = blob[offset : offset + name_len].decode()
+        payload = blob[offset + name_len :]
+        return cls(name=name, payload=bytes(payload), created_at=created_at)
+
+    def write_file(self, path: str) -> int:
+        blob = self.to_bytes()
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        return len(blob)
+
+    @classmethod
+    def read_file(cls, path: str) -> "CheckpointImage":
+        with open(path, "rb") as fh:
+            return cls.from_bytes(fh.read())
+
+    # -- restart --------------------------------------------------------------------
+    def load(self) -> tuple[Callable[[dict], Any], dict]:
+        """The (fn, state) pair the bootstrap reconstructs."""
+        try:
+            fn, state = pickle.loads(self.payload)
+        except Exception as exc:
+            raise CheckpointError(f"corrupt checkpoint {self.name!r}: {exc}") from exc
+        return fn, state
+
+    def restart(self) -> Any:
+        """Resume the task in this process; returns its result."""
+        fn, state = self.load()
+        return fn(state)
+
+    def restart_in_fork(self) -> Any:
+        """Resume the task in a forked child (local remote-execution).
+
+        The child runs the continuation and ships the result back through
+        a pipe — the degenerate (same-host) case of the paper's rfork.
+        """
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            return self.restart()
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            try:
+                result = ("ok", self.restart())
+            except BaseException as exc:  # noqa: BLE001
+                result = ("err", repr(exc))
+            try:
+                blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                os.write(write_fd, struct.pack("<Q", len(blob)))
+                view = memoryview(blob)
+                while view:
+                    written = os.write(write_fd, view)
+                    view = view[written:]
+            finally:
+                os._exit(0)
+        os.close(write_fd)
+        chunks = []
+        header = os.read(read_fd, 8)
+        (length,) = struct.unpack("<Q", header)
+        remaining = length
+        while remaining > 0:
+            chunk = os.read(read_fd, min(remaining, 1 << 16))
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        os.close(read_fd)
+        os.waitpid(pid, 0)
+        status, value = pickle.loads(b"".join(chunks))
+        if status == "err":
+            raise CheckpointError(f"restarted task failed: {value}")
+        return value
+
+
+def capture_checkpoint(fn: Callable[[dict], Any], state: dict, name: str = "task") -> CheckpointImage:
+    """Module-level convenience for :meth:`CheckpointImage.capture`."""
+    return CheckpointImage.capture(fn, state, name)
+
+
+def checkpoint_here(fn: Callable[[dict], Any], state: dict, name: str = "task"):
+    """The paper's return-value convention, as a pair.
+
+    Returns ``(image, is_restart)``: the caller that *created* the
+    checkpoint sees ``is_restart=False``; running ``image.restart()``
+    re-enters ``fn`` (the restart path) instead. This mirrors "a return
+    value is used to distinguish between return of control in the
+    checkpoint and in the calling process."
+    """
+    return CheckpointImage.capture(fn, state, name), False

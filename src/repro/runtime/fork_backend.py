@@ -1,0 +1,340 @@
+"""Multiple Worlds on real processes: ``os.fork`` + pipes + SIGKILL.
+
+Each alternative runs in a forked child against a workspace dict the child
+inherits through the host kernel's genuine copy-on-write. The first child
+whose guard accepts its result wins the rendezvous: the parent absorbs the
+child's workspace (shipped back through a pipe), and the slower siblings
+are eliminated — synchronously (kill + wait before returning) or
+asynchronously (kill now, reap later), reproducing the paper's section
+2.2.1 policy choice with real signals.
+
+The protocol is deliberately simple and robust:
+
+- each child gets its own pipe; it writes one length-prefixed pickle
+  ``("ok", value, workspace)`` or ``("fail", reason)`` and ``_exit``\\ s;
+- the parent ``select``\\ s across pipes until a success, every child has
+  failed, or the block times out;
+- a child that dies without reporting (crash, OOM-kill) counts as failed.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import pickle
+import select
+import signal
+import struct
+import time
+from typing import Any, Sequence
+
+from repro.analysis.overhead import OverheadBreakdown
+from repro.core.alternative import Alternative, GuardPlacement
+from repro.core.outcome import AlternativeResult, BlockOutcome
+from repro.core.policy import EliminationPolicy
+from repro.core.worlds import _normalize
+from repro.errors import WorldsError
+
+_HEADER = struct.Struct("<Q")
+
+
+def _picklable(value: Any) -> bool:
+    try:
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return True
+    except Exception:
+        return False
+
+
+def _encode_report(payload: tuple) -> bytes:
+    """Pickle a report; sanitize the workspace if it won't serialize.
+
+    Workspaces may contain unpicklable helpers (lambdas, open handles)
+    that the child inherited through fork. Those entries cannot travel
+    back through the pipe; they are dropped and listed under the
+    ``_unpicklable`` key rather than failing the whole alternative.
+    """
+    try:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        pass
+    if payload[0] == "ok":
+        _, value, workspace = payload
+        if not _picklable(value):
+            return pickle.dumps(
+                ("fail", f"result of type {type(value).__name__} is not picklable"),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        dropped = sorted(k for k, v in workspace.items() if not _picklable(v))
+        safe = {k: v for k, v in workspace.items() if k not in dropped}
+        safe["_unpicklable"] = dropped
+        return pickle.dumps(("ok", value, safe), protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(
+        ("fail", "unserializable failure report"), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def _write_report(fd: int, payload: tuple) -> None:
+    blob = _encode_report(payload)
+    os.write(fd, _HEADER.pack(len(blob)))
+    # large payloads may need several writes
+    view = memoryview(blob)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+class _ChildReader:
+    """Incremental reader of one child's length-prefixed report."""
+
+    def __init__(self, fd: int) -> None:
+        self.fd = fd
+        self.buffer = bytearray()
+        self.expected: int | None = None
+        self.eof = False
+
+    def pump(self) -> tuple | None:
+        """Read available bytes; return the report once complete."""
+        try:
+            chunk = os.read(self.fd, 1 << 16)
+        except OSError as exc:  # pragma: no cover - platform dependent
+            if exc.errno == errno.EAGAIN:
+                return None
+            raise
+        if not chunk:
+            self.eof = True
+            return None
+        self.buffer.extend(chunk)
+        if self.expected is None and len(self.buffer) >= _HEADER.size:
+            (self.expected,) = _HEADER.unpack(bytes(self.buffer[: _HEADER.size]))
+            del self.buffer[: _HEADER.size]
+        if self.expected is not None and len(self.buffer) >= self.expected:
+            try:
+                return pickle.loads(bytes(self.buffer[: self.expected]))
+            except Exception as exc:
+                return ("fail", f"unpicklable report: {exc!r}")
+        return None
+
+
+def _child_main(alt: Alternative, workspace: dict, write_fd: int) -> None:
+    """Runs in the forked child; never returns."""
+    try:
+        if alt.start_delay > 0:
+            time.sleep(alt.start_delay)
+        if not alt.guard.passes_entry(workspace):
+            _write_report(write_fd, ("fail", f"guard {alt.guard.name!r} rejected entry"))
+            os._exit(0)
+        value = alt.fn(workspace)
+        if not alt.guard.passes_result(workspace, value):
+            _write_report(write_fd, ("fail", f"guard {alt.guard.name!r} rejected result"))
+            os._exit(0)
+        _write_report(write_fd, ("ok", value, workspace))
+    except BaseException as exc:  # noqa: BLE001 - report anything
+        try:
+            _write_report(write_fd, ("fail", f"alternative raised {exc!r}"))
+        except BaseException:
+            pass
+    finally:
+        os._exit(0)
+
+
+def _kill_children(pids: list[int], wait: bool) -> float:
+    """SIGKILL ``pids``; optionally wait for them. Returns elapsed seconds."""
+    t0 = time.perf_counter()
+    for pid in pids:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+    if wait:
+        for pid in pids:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+    return time.perf_counter() - t0
+
+
+def _reap_async(pids: list[int]) -> None:
+    """Best-effort zombie reaping after asynchronous elimination."""
+    for pid in pids:
+        try:
+            os.waitpid(pid, 0)
+        except ChildProcessError:
+            pass
+
+
+def run_alternatives_fork(
+    alternatives: Sequence[Any],
+    initial: dict[str, Any] | None = None,
+    timeout: float | None = None,
+    elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+) -> BlockOutcome:
+    """Execute a block of alternatives as real forked processes.
+
+    ``alternatives`` must be plain callables of a dict workspace (or
+    :class:`Alternative` objects wrapping them); generator programs are a
+    simulation-backend concept. Returns a
+    :class:`~repro.core.outcome.BlockOutcome` whose times are wall clock.
+    """
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+        raise WorldsError("fork backend requires a POSIX platform")
+    alts = _normalize(alternatives)
+    workspace: dict[str, Any] = dict(initial or {})
+
+    t_start = time.perf_counter()
+    children: dict[int, tuple[int, Alternative, _ChildReader]] = {}  # pid -> (index, alt, reader)
+    skipped: list[AlternativeResult] = []
+    for index, alt in enumerate(alts):
+        if alt.guard.placement & GuardPlacement.BEFORE_SPAWN and alt.guard.check is not None:
+            try:
+                ok = alt.guard.passes_entry(workspace)
+            except Exception:
+                ok = False
+            if not ok:
+                skipped.append(
+                    AlternativeResult(
+                        index=index, name=alt.name, guard_failed=True,
+                        error="guard rejected before spawn",
+                    )
+                )
+                continue
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # child: alt_spawn returned our index (1-based in the paper)
+            os.close(read_fd)
+            for other_pid, (_, _, reader) in children.items():
+                try:
+                    os.close(reader.fd)
+                except OSError:
+                    pass
+            _child_main(alt, workspace, write_fd)
+            os._exit(0)  # pragma: no cover - _child_main never returns
+        os.close(write_fd)
+        os.set_blocking(read_fd, False)
+        children[pid] = (index, alt, _ChildReader(read_fd))
+    t_spawned = time.perf_counter()
+
+    winner: AlternativeResult | None = None
+    winner_ws: dict | None = None
+    losers: list[AlternativeResult] = list(skipped)
+    timed_out = False
+    deadline = None if timeout is None else t_start + timeout
+
+    pending = dict(children)
+    try:
+        while pending and winner is None:
+            wait_s = None
+            if deadline is not None:
+                wait_s = deadline - time.perf_counter()
+                if wait_s <= 0:
+                    timed_out = True
+                    break
+            fds = [reader.fd for _, _, reader in pending.values()]
+            readable, _, _ = select.select(fds, [], [], wait_s)
+            if not readable:
+                timed_out = True
+                break
+            now = time.perf_counter()
+            for fd in readable:
+                pid = next(p for p, (_, _, r) in pending.items() if r.fd == fd)
+                index, alt, reader = pending[pid]
+                report = reader.pump()
+                if report is None:
+                    if reader.eof:
+                        losers.append(
+                            AlternativeResult(
+                                index=index, name=alt.name,
+                                error="child died without reporting",
+                                elapsed_s=now - t_spawned,
+                            )
+                        )
+                        os.close(reader.fd)
+                        del pending[pid]
+                        try:
+                            os.waitpid(pid, 0)
+                        except ChildProcessError:
+                            pass
+                    continue
+                if report[0] == "ok":
+                    value, child_ws = report[1], report[2]
+                    accepted = True
+                    if alt.guard.placement & GuardPlacement.AT_SYNC and alt.guard.accept is not None:
+                        try:
+                            accepted = bool(alt.guard.passes_result(child_ws, value))
+                        except Exception:
+                            accepted = False
+                    if accepted:
+                        winner = AlternativeResult(
+                            index=index, name=alt.name, value=value,
+                            succeeded=True, elapsed_s=now - t_spawned,
+                        )
+                        winner_ws = child_ws
+                        os.close(reader.fd)
+                        try:
+                            os.waitpid(pid, 0)
+                        except ChildProcessError:
+                            pass
+                        del pending[pid]
+                        break
+                    losers.append(
+                        AlternativeResult(
+                            index=index, name=alt.name, guard_failed=True,
+                            error="guard rejected result at sync",
+                            elapsed_s=now - t_spawned,
+                        )
+                    )
+                else:
+                    losers.append(
+                        AlternativeResult(
+                            index=index, name=alt.name, error=str(report[1]),
+                            guard_failed="guard" in str(report[1]),
+                            elapsed_s=now - t_spawned,
+                        )
+                    )
+                os.close(reader.fd)
+                del pending[pid]
+                try:
+                    os.waitpid(pid, 0)
+                except ChildProcessError:
+                    pass
+    finally:
+        # eliminate whatever is still running
+        leftover_pids = list(pending)
+        elim_seconds = 0.0
+        if leftover_pids:
+            for _, _, reader in pending.values():
+                try:
+                    os.close(reader.fd)
+                except OSError:
+                    pass
+            synchronous = elimination is EliminationPolicy.SYNCHRONOUS
+            elim_seconds = _kill_children(leftover_pids, wait=synchronous)
+
+    t_resume = time.perf_counter()
+    for pid in leftover_pids:
+        losers.append(
+            AlternativeResult(
+                index=children[pid][0], name=children[pid][1].name,
+                error="eliminated" if not timed_out else "timeout-killed",
+            )
+        )
+    overhead = OverheadBreakdown(
+        setup_s=t_spawned - t_start,
+        completion_s=elim_seconds,
+    )
+    outcome = BlockOutcome(
+        winner=winner,
+        elapsed_s=t_resume - t_start,
+        overhead=overhead,
+        timed_out=timed_out and winner is None,
+        losers=sorted(losers, key=lambda r: r.index),
+    )
+    if winner_ws is not None:
+        outcome.extras["state"] = winner_ws
+    outcome.extras["elimination_policy"] = elimination.value
+    outcome.extras["eliminated"] = len(leftover_pids)
+    if elimination is EliminationPolicy.ASYNCHRONOUS and leftover_pids:
+        _reap_async(leftover_pids)
+    return outcome

@@ -1,0 +1,124 @@
+"""Thread-based Multiple Worlds (an approximation, and a useful baseline).
+
+Threads cannot be killed, so "elimination" here only means the block stops
+listening: losers run to completion in daemon threads and their results
+are discarded. Each alternative gets a deep copy of the workspace, so the
+isolation semantics match the other backends; what differs is throughput
+(losers keep burning CPU) and the GIL's serialization of pure-Python work.
+The backend exists (a) for platforms without ``fork`` and (b) as the
+"can't eliminate siblings" ablation point in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+import time
+from typing import Any, Sequence
+
+from repro.analysis.overhead import OverheadBreakdown
+from repro.core.alternative import Alternative, GuardPlacement
+from repro.core.outcome import AlternativeResult, BlockOutcome
+from repro.core.worlds import _normalize
+
+
+def _worker(index: int, alt: Alternative, workspace: dict, out: "queue.Queue") -> None:
+    if alt.start_delay > 0:
+        time.sleep(alt.start_delay)
+    t0 = time.perf_counter()
+    try:
+        if not alt.guard.passes_entry(workspace):
+            out.put((index, "fail", f"guard {alt.guard.name!r} rejected entry", None, t0))
+            return
+        value = alt.fn(workspace)
+        if not alt.guard.passes_result(workspace, value):
+            out.put((index, "fail", f"guard {alt.guard.name!r} rejected result", None, t0))
+            return
+        out.put((index, "ok", value, workspace, t0))
+    except BaseException as exc:  # noqa: BLE001
+        out.put((index, "fail", f"alternative raised {exc!r}", None, t0))
+
+
+def run_alternatives_thread(
+    alternatives: Sequence[Any],
+    initial: dict[str, Any] | None = None,
+    timeout: float | None = None,
+    **_ignored: Any,
+) -> BlockOutcome:
+    """Execute a block of plain-callable alternatives on threads."""
+    alts = _normalize(alternatives)
+    base = dict(initial or {})
+    reports: "queue.Queue" = queue.Queue()
+
+    t_start = time.perf_counter()
+    started = 0
+    skipped: list[AlternativeResult] = []
+    for index, alt in enumerate(alts):
+        if alt.guard.placement & GuardPlacement.BEFORE_SPAWN and alt.guard.check is not None:
+            try:
+                ok = alt.guard.passes_entry(base)
+            except Exception:
+                ok = False
+            if not ok:
+                skipped.append(
+                    AlternativeResult(
+                        index=index, name=alt.name, guard_failed=True,
+                        error="guard rejected before spawn",
+                    )
+                )
+                continue
+        workspace = copy.deepcopy(base)
+        thread = threading.Thread(
+            target=_worker, args=(index, alt, workspace, reports), daemon=True
+        )
+        thread.start()
+        started += 1
+    t_spawned = time.perf_counter()
+
+    winner: AlternativeResult | None = None
+    winner_ws: dict | None = None
+    losers: list[AlternativeResult] = list(skipped)
+    timed_out = False
+    deadline = None if timeout is None else t_start + timeout
+    remaining = started
+    while remaining > 0 and winner is None:
+        wait_s = None
+        if deadline is not None:
+            wait_s = deadline - time.perf_counter()
+            if wait_s <= 0:
+                timed_out = True
+                break
+        try:
+            index, status, payload, workspace, t0 = reports.get(timeout=wait_s)
+        except queue.Empty:
+            timed_out = True
+            break
+        remaining -= 1
+        elapsed = time.perf_counter() - t0
+        alt = alts[index]
+        if status == "ok":
+            winner = AlternativeResult(
+                index=index, name=alt.name, value=payload,
+                succeeded=True, elapsed_s=elapsed,
+            )
+            winner_ws = workspace
+        else:
+            losers.append(
+                AlternativeResult(
+                    index=index, name=alt.name, error=str(payload),
+                    guard_failed="guard" in str(payload), elapsed_s=elapsed,
+                )
+            )
+
+    outcome = BlockOutcome(
+        winner=winner,
+        elapsed_s=time.perf_counter() - t_start,
+        overhead=OverheadBreakdown(setup_s=t_spawned - t_start),
+        timed_out=timed_out and winner is None,
+        losers=sorted(losers, key=lambda r: r.index),
+    )
+    if winner_ws is not None:
+        outcome.extras["state"] = winner_ws
+    outcome.extras["uncollected"] = remaining if winner else 0
+    return outcome

@@ -1,0 +1,6 @@
+"""Small shared utilities: id allocation, deterministic RNG plumbing."""
+
+from repro.util.ids import IdAllocator
+from repro.util.rng import ReplayableRNG
+
+__all__ = ["IdAllocator", "ReplayableRNG"]

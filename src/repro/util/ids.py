@@ -1,0 +1,36 @@
+"""Monotonic id allocation.
+
+Process ids, frame ids, message ids and world ids all come from instances
+of :class:`IdAllocator`. Ids are never reused within one allocator, which
+keeps predicate lists unambiguous even after processes die (paper section
+2.4.1 requires system-wide unique process identifiers).
+"""
+
+from __future__ import annotations
+
+
+class IdAllocator:
+    """Hands out consecutive integers starting from ``first``.
+
+    >>> alloc = IdAllocator()
+    >>> alloc.next(), alloc.next(), alloc.next()
+    (1, 2, 3)
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, first: int = 1) -> None:
+        self._next = first
+
+    def next(self) -> int:
+        """Return a fresh id, never returned before by this allocator."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        """Return the id the next call to :meth:`next` would produce."""
+        return self._next
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IdAllocator(next={self._next})"

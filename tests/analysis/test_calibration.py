@@ -1,0 +1,65 @@
+"""Tests for machine profiles and the 1989 calibrations."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    ATT_3B2_310,
+    HP_9000_350,
+    MODERN_SIM,
+    RFORK_LINK,
+    MachineProfile,
+    NetworkProfile,
+)
+
+
+class TestCalibration:
+    def test_3b2_fork_matches_paper(self):
+        pages = (320 * 1024) // ATT_3B2_310.page_size
+        assert ATT_3B2_310.fork_cost(pages) == pytest.approx(0.031, rel=1e-6)
+
+    def test_hp_fork_matches_paper(self):
+        pages = (320 * 1024) // HP_9000_350.page_size
+        assert HP_9000_350.fork_cost(pages) == pytest.approx(0.012, rel=1e-6)
+
+    def test_copy_rates_match_paper(self):
+        assert 1.0 / ATT_3B2_310.page_copy_s == pytest.approx(326.0)
+        assert 1.0 / HP_9000_350.page_copy_s == pytest.approx(1034.0)
+
+    def test_page_sizes(self):
+        assert ATT_3B2_310.page_size == 2048
+        assert HP_9000_350.page_size == 4096
+
+    def test_elimination_constants_match_paper(self):
+        # 16 children: ~40 ms waiting, ~20 ms asynchronous
+        assert ATT_3B2_310.elimination_cost(16, synchronous=True) == pytest.approx(0.040)
+        assert ATT_3B2_310.elimination_cost(16, synchronous=False) == pytest.approx(0.020)
+
+
+class TestMachineProfile:
+    def test_cost_helpers(self):
+        p = MODERN_SIM
+        assert p.fork_cost(0) == p.fork_fixed_s
+        assert p.copy_cost(3) == pytest.approx(3 * p.page_copy_s)
+        assert p.message_cost(0) == p.msg_fixed_s
+        assert p.message_cost(1000) > p.msg_fixed_s
+
+    def test_with_cpus(self):
+        assert MODERN_SIM.with_cpus(8).cpus == 8
+        assert MODERN_SIM.cpus == 1  # original untouched (frozen)
+
+    def test_scaled(self):
+        doubled = MODERN_SIM.scaled(2.0)
+        assert doubled.fork_fixed_s == pytest.approx(2 * MODERN_SIM.fork_fixed_s)
+        assert doubled.page_copy_s == pytest.approx(2 * MODERN_SIM.page_copy_s)
+        assert doubled.page_size == MODERN_SIM.page_size  # sizes not scaled
+
+
+class TestNetworkProfile:
+    def test_transfer_time(self):
+        link = NetworkProfile("t", latency_s=0.1, bandwidth_bytes_s=1000.0)
+        assert link.transfer_time(500) == pytest.approx(0.6)
+
+    def test_rfork_link_reproduces_observation(self):
+        # ~0.85 s checkpoint + this link's transfer of 70K ≈ 1.3 s total
+        transfer = RFORK_LINK.transfer_time(70 * 1024)
+        assert 0.85 + transfer + 0.05 == pytest.approx(1.3, abs=0.05)

@@ -1,0 +1,100 @@
+"""Tests for whole-domain analysis and overhead decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.domain import DomainAnalysis
+from repro.analysis.overhead import OverheadBreakdown
+
+ROTATING = [
+    [1.0, 5.0],
+    [5.0, 1.0],
+    [1.0, 5.0],
+    [5.0, 1.0],
+]
+
+
+class TestDomainAnalysis:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DomainAnalysis([])
+        with pytest.raises(ValueError):
+            DomainAnalysis([1.0, 2.0])  # 1-D
+        with pytest.raises(ValueError):
+            DomainAnalysis([[1.0, -1.0]])
+        with pytest.raises(ValueError):
+            DomainAnalysis([[1.0, 1.0]], overhead=-0.1)
+
+    def test_scheme_expectations(self):
+        domain = DomainAnalysis(ROTATING, overhead=0.5)
+        assert domain.scheme_b_expected() == pytest.approx(3.0)
+        assert domain.scheme_a_expected() == pytest.approx(3.0)  # both tie
+        assert domain.scheme_c_expected() == pytest.approx(1.5)
+
+    def test_domain_pi_and_best_fixed(self):
+        domain = DomainAnalysis(ROTATING, overhead=0.5)
+        assert domain.domain_pi() == pytest.approx(2.0)
+        assert domain.pi_vs_best_fixed() == pytest.approx(2.0)
+
+    def test_rotating_winners_histogram(self):
+        domain = DomainAnalysis(ROTATING)
+        assert domain.winner_histogram().tolist() == [2, 2]
+
+    def test_complementarity_extremes(self):
+        perfect = DomainAnalysis([[1.0, 100.0], [100.0, 1.0]])
+        uniform = DomainAnalysis([[3.0, 3.0], [3.0, 3.0]])
+        assert perfect.complementarity() > 0.9
+        assert uniform.complementarity() == 0.0
+
+    def test_win_fraction(self):
+        mixed = DomainAnalysis(
+            [[1.0, 10.0], [2.0, 2.0]],  # second input: no dispersion
+            overhead=0.5,
+        )
+        assert mixed.win_fraction() == pytest.approx(0.5)
+
+    def test_per_input_overhead_vector(self):
+        domain = DomainAnalysis(ROTATING, overhead=[0.1, 0.2, 0.3, 0.4])
+        expected = np.mean([1.1, 1.2, 1.3, 1.4])
+        assert domain.scheme_c_expected() == pytest.approx(expected)
+
+    def test_points(self):
+        domain = DomainAnalysis(ROTATING, overhead=0.5)
+        points = domain.points()
+        assert len(points) == 4
+        assert points[0].winner == 0
+        assert points[1].winner == 1
+        assert all(p.wins for p in points)
+
+    def test_summary_keys(self):
+        summary = DomainAnalysis(ROTATING).summary()
+        assert set(summary) == {
+            "scheme_a_expected",
+            "scheme_b_expected",
+            "scheme_c_expected",
+            "domain_pi",
+            "pi_vs_best_fixed",
+            "win_fraction",
+            "complementarity",
+        }
+
+
+class TestOverheadBreakdown:
+    def test_total(self):
+        b = OverheadBreakdown(setup_s=1.0, runtime_s=2.0, completion_s=0.5)
+        assert b.total_s == 3.5
+
+    def test_addition(self):
+        a = OverheadBreakdown(setup_s=1.0)
+        b = OverheadBreakdown(runtime_s=2.0, completion_s=1.0)
+        combined = a + b
+        assert combined.total_s == 4.0
+        assert combined.setup_s == 1.0
+
+    def test_dominated_by(self):
+        assert OverheadBreakdown(runtime_s=5.0).dominated_by() == "runtime"
+        assert OverheadBreakdown(setup_s=5.0, runtime_s=1.0).dominated_by() == "setup"
+
+    def test_as_dict(self):
+        d = OverheadBreakdown(setup_s=1.0).as_dict()
+        assert d["setup_s"] == 1.0 and d["total_s"] == 1.0

@@ -1,0 +1,98 @@
+"""Tests for the repeat-run experiment harness."""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentRunner, speedup
+from repro.core import Alternative
+from repro.errors import WorldsError
+
+
+def _make_alternatives():
+    return [
+        Alternative(lambda ws: "fast", name="fast", sim_cost=0.5),
+        Alternative(lambda ws: "slow", name="slow", sim_cost=2.0),
+    ]
+
+
+def test_repeats_validated():
+    with pytest.raises(WorldsError):
+        ExperimentRunner(_make_alternatives, repeats=0)
+
+
+def test_summary_statistics_on_sim():
+    runner = ExperimentRunner(_make_alternatives, repeats=4)
+    summary = runner.summarize("sim", backend="sim", cpus=2)
+    assert summary.runs == 4
+    assert summary.failures == 0
+    assert summary.mean_s == pytest.approx(0.5, rel=0.05)
+    assert summary.std_s == pytest.approx(0.0, abs=1e-6)  # sim is deterministic
+    assert summary.winners == {"fast": 4}
+    assert summary.dominant_winner == "fast"
+
+
+def test_failures_counted():
+    def make():
+        def bad(ws):
+            raise RuntimeError("x")
+
+        return [Alternative(bad, name="bad", sim_cost=0.1)]
+
+    runner = ExperimentRunner(make, repeats=3)
+    summary = runner.summarize("failing", backend="sim")
+    assert summary.failures == 3
+    assert summary.dominant_winner is None
+
+
+def test_fresh_state_per_run():
+    counter = {"built": 0}
+
+    def make_initial():
+        counter["built"] += 1
+        return {"n": counter["built"]}
+
+    seen = []
+
+    def make():
+        def record(ws):
+            seen.append(ws["n"])
+            return ws["n"]
+
+        return [Alternative(record, name="r", sim_cost=0.01)]
+
+    ExperimentRunner(make, make_initial, repeats=3).summarize("s", backend="sim")
+    assert seen == [1, 2, 3]
+
+
+def test_compare_multiple_configurations():
+    runner = ExperimentRunner(_make_alternatives, repeats=2)
+    summaries = runner.compare(
+        {
+            "two-cpus": {"backend": "sim", "cpus": 2},
+            "one-cpu": {"backend": "sim", "cpus": 1},
+        }
+    )
+    by_label = {s.label: s for s in summaries}
+    # with one CPU the fast alternative timeshares with the slow one
+    assert by_label["one-cpu"].mean_s > by_label["two-cpus"].mean_s
+    assert speedup(by_label["one-cpu"], by_label["two-cpus"]) > 1.5
+
+
+def test_as_row_shape():
+    runner = ExperimentRunner(_make_alternatives, repeats=1)
+    row = runner.summarize("x", backend="sim", cpus=2).as_row()
+    assert row[0] == "x" and row[1] == 1 and row[-1] == "fast"
+
+
+def test_thread_backend_integration():
+    import time
+
+    def make():
+        def quick(ws):
+            time.sleep(0.01)
+            return "quick"
+
+        return [Alternative(quick, name="quick")]
+
+    summary = ExperimentRunner(make, repeats=2).summarize("t", backend="thread")
+    assert summary.failures == 0
+    assert summary.mean_s >= 0.01

@@ -1,0 +1,83 @@
+"""Tests for the page-vs-value granularity ablation model."""
+
+import math
+
+import pytest
+
+from repro.analysis.granularity import (
+    AccessProfile,
+    GranularityCosts,
+    crossover_references,
+    page_based_overhead,
+    preferred_scheme,
+    value_based_overhead,
+)
+
+COARSE = AccessProfile(
+    objects=200, object_bytes=1024, objects_written=40, references=2_000_000
+)
+FINE = AccessProfile(
+    objects=50, object_bytes=64, objects_written=5, references=200
+)
+
+
+class TestProfiles:
+    def test_pages(self):
+        p = AccessProfile(objects=10, object_bytes=1024, objects_written=2, references=0)
+        assert p.state_bytes == 10_240
+        assert p.pages(2048) == 5
+
+    def test_pages_written_bounds(self):
+        p = AccessProfile(objects=10, object_bytes=1024, objects_written=10, references=0)
+        assert p.pages_written(2048) == 5  # fully dirty
+        none = AccessProfile(objects=10, object_bytes=1024, objects_written=0, references=0)
+        assert none.pages_written(2048) == 0
+
+    def test_big_objects_dirty_at_least_one_page_each(self):
+        p = AccessProfile(objects=4, object_bytes=8192, objects_written=3, references=0)
+        assert p.pages_written(2048) >= 3
+
+
+class TestSchemes:
+    def test_page_wins_on_many_references(self):
+        # the paper's domain: long computations, heavy referencing
+        assert preferred_scheme(COARSE) == "page"
+        assert value_based_overhead(COARSE) > page_based_overhead(COARSE)
+
+    def test_value_wins_on_fine_grained_work(self):
+        # Wilson's domain: tiny state, few references
+        assert preferred_scheme(FINE) == "value"
+
+    def test_page_overhead_is_startup_plus_dirty_pages(self):
+        costs = GranularityCosts()
+        expected = (
+            COARSE.pages(costs.page_size) * costs.pte_copy_s
+            + COARSE.pages_written(costs.page_size) * costs.page_copy_s
+        )
+        assert page_based_overhead(COARSE) == pytest.approx(expected)
+
+    def test_value_overhead_scales_with_references(self):
+        light = AccessProfile(100, 256, 10, references=1000)
+        heavy = AccessProfile(100, 256, 10, references=100_000)
+        assert value_based_overhead(heavy) > value_based_overhead(light)
+
+
+class TestCrossover:
+    def test_crossover_separates_regimes(self):
+        base = AccessProfile(200, 1024, 40, references=0)
+        cross = crossover_references(base)
+        assert 0 < cross < math.inf
+        below = AccessProfile(200, 1024, 40, references=int(cross * 0.5))
+        above = AccessProfile(200, 1024, 40, references=int(cross * 2.0))
+        assert preferred_scheme(below) == "value"
+        assert preferred_scheme(above) == "page"
+
+    def test_zero_when_page_always_wins(self):
+        cheap_pages = GranularityCosts(pte_copy_s=0.0, page_copy_s=0.0)
+        assert crossover_references(COARSE, cheap_pages) == 0.0
+
+    def test_infinite_when_no_reference_tax(self):
+        no_tax = GranularityCosts(ref_check_s=0.0)
+        profile = AccessProfile(200, 1024, 40, references=0)
+        if page_based_overhead(profile, no_tax) > value_based_overhead(profile, no_tax):
+            assert math.isinf(crossover_references(profile, no_tax))

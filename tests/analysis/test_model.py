@@ -1,0 +1,156 @@
+"""Tests for the section 3 performance algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    PerformanceModel,
+    breakeven_overhead,
+    breakeven_r_mu,
+    c_best,
+    c_mean,
+    c_worst,
+    figure3_curve,
+    figure4_curve,
+    parallel_wins,
+    performance_improvement,
+    pi_from_ratios,
+    r_mu,
+    r_o,
+    speedup_vs_parallelized,
+    superlinear_condition,
+)
+
+TIMES = [1.0, 2.0, 3.0, 6.0]
+
+
+class TestBasics:
+    def test_c_statistics(self):
+        assert c_mean(TIMES) == 3.0
+        assert c_best(TIMES) == 1.0
+        assert c_worst(TIMES) == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            c_mean([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            c_best([1.0, -0.5])
+
+    def test_ratios(self):
+        assert r_mu(TIMES) == 3.0
+        assert r_o(TIMES, 0.5) == 0.5
+
+    def test_zero_best_gives_infinite_ratio(self):
+        assert math.isinf(r_mu([0.0, 1.0]))
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            r_o(TIMES, -1.0)
+
+
+class TestPI:
+    def test_pi_definition(self):
+        # PI = mean / (best + overhead)
+        assert performance_improvement(TIMES, 0.5) == pytest.approx(3.0 / 1.5)
+
+    def test_pi_reexpression_equivalence(self):
+        """The paper's PI = R_mu/(1+R_o) equals the direct ratio."""
+        direct = performance_improvement(TIMES, 0.5)
+        algebraic = pi_from_ratios(r_mu(TIMES), r_o(TIMES, 0.5))
+        assert direct == pytest.approx(algebraic)
+
+    def test_parallel_wins_iff_pi_above_one(self):
+        assert parallel_wins(TIMES, 0.5)
+        assert not parallel_wins([1.0, 1.0], 0.5)
+
+    def test_breakeven_r_mu(self):
+        assert breakeven_r_mu(0.5) == 1.5
+
+    def test_breakeven_overhead(self):
+        # at overhead == mean - best, PI == 1 exactly
+        edge = breakeven_overhead(TIMES)
+        assert performance_improvement(TIMES, edge) == pytest.approx(1.0)
+
+    def test_zero_denominator_infinite_pi(self):
+        assert math.isinf(performance_improvement([0.0, 4.0], 0.0))
+
+
+class TestSuperlinear:
+    def test_condition(self):
+        n = 4
+        hot = [1.0] + [100.0] * (n - 1)
+        assert superlinear_condition(hot, 0.0)
+        assert not superlinear_condition([1.0] * n, 0.0)
+
+    def test_speedup_normalization(self):
+        times = [1.0] + [100.0] * 3
+        assert speedup_vs_parallelized(times, 0.0) == pytest.approx(
+            performance_improvement(times) / 4
+        )
+
+
+class TestPerformanceModel:
+    def test_from_times(self):
+        model = PerformanceModel.from_times(TIMES, overhead=0.5)
+        assert model.r_mu == 3.0
+        assert model.r_o == 0.5
+        assert model.pi == pytest.approx(2.0)
+        assert model.wins
+
+    def test_scale_invariance(self):
+        model = PerformanceModel.from_times(TIMES, overhead=0.5)
+        scaled = model.scaled(1000.0)
+        assert scaled.pi == pytest.approx(model.pi)
+        assert scaled.r_mu == pytest.approx(model.r_mu)
+
+    def test_zero_best_edge(self):
+        model = PerformanceModel(tau_mean=1.0, tau_best=0.0, tau_overhead=0.0)
+        assert math.isinf(model.pi)
+
+
+class TestCurves:
+    def test_figure3_is_linear(self):
+        pts = figure3_curve([0.0, 1.0, 2.0], 0.5)
+        ys = [y for _, y in pts]
+        assert ys[2] - ys[1] == pytest.approx(ys[1] - ys[0])
+        assert ys[0] == 0.0
+
+    def test_figure4_endpoints(self):
+        pts = dict(figure4_curve([0.0, 1.0]))
+        assert pts[0.0] == pytest.approx(math.e)
+        assert pts[1.0] == pytest.approx(math.e / 2)
+
+
+positive_times = st.lists(
+    st.floats(min_value=1e-3, max_value=1e3), min_size=1, max_size=10
+)
+
+
+@given(positive_times, st.floats(min_value=0, max_value=100))
+@settings(max_examples=200, deadline=None)
+def test_pi_identity_property(times, overhead):
+    """Direct and re-expressed PI agree on arbitrary inputs."""
+    direct = performance_improvement(times, overhead)
+    algebraic = pi_from_ratios(r_mu(times), r_o(times, overhead))
+    assert direct == pytest.approx(algebraic, rel=1e-9)
+
+
+@given(positive_times)
+@settings(max_examples=200, deadline=None)
+def test_pi_zero_overhead_at_least_one(times):
+    """With no overhead, racing can never lose: mean >= best."""
+    assert performance_improvement(times, 0.0) >= 1.0 - 1e-12
+
+
+@given(positive_times, st.floats(min_value=0, max_value=10),
+       st.floats(min_value=0.01, max_value=10))
+@settings(max_examples=200, deadline=None)
+def test_pi_monotone_in_overhead(times, overhead, extra):
+    assert performance_improvement(times, overhead + extra) <= performance_improvement(
+        times, overhead
+    )

@@ -1,0 +1,92 @@
+"""Tests for the Alternative / Guard / AltBlock / policy API surface."""
+
+import pytest
+
+from repro.core.alternative import AltBlock, Alternative, Guard, GuardPlacement
+from repro.core.outcome import FAILURE, AlternativeResult, BlockOutcome
+from repro.core.policy import EliminationPolicy, TimeoutPolicy
+from repro.errors import WorldsError
+
+
+class TestGuard:
+    def test_always_passes(self):
+        g = Guard.always()
+        assert g.passes_entry({"anything": 1})
+        assert g.passes_result({}, None)
+
+    def test_check_and_accept(self):
+        g = Guard(check=lambda s: s["go"], accept=lambda s, v: v > 0)
+        assert g.passes_entry({"go": True})
+        assert not g.passes_entry({"go": False})
+        assert g.passes_result({}, 5)
+        assert not g.passes_result({}, -1)
+
+    def test_placement_flags_combine(self):
+        placement = GuardPlacement.IN_CHILD | GuardPlacement.AT_SYNC
+        assert placement & GuardPlacement.IN_CHILD
+        assert placement & GuardPlacement.AT_SYNC
+        assert not placement & GuardPlacement.BEFORE_SPAWN
+
+
+class TestAlternative:
+    def test_name_defaults_to_fn_name(self):
+        def my_method(ws):
+            return 1
+
+        assert Alternative(my_method).name == "my_method"
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(WorldsError):
+            Alternative("not callable")  # type: ignore[arg-type]
+
+    def test_cost_for_scalar_and_callable(self):
+        assert Alternative(lambda ws: 0, sim_cost=2.5).cost_for({}) == 2.5
+        dynamic = Alternative(lambda ws: 0, sim_cost=lambda s: s["n"] * 2.0)
+        assert dynamic.cost_for({"n": 3}) == 6.0
+        assert Alternative(lambda ws: 0).cost_for({}) == 0.0
+
+
+class TestAltBlock:
+    def test_of_builds_from_callables(self):
+        block = AltBlock.of(lambda ws: 1, lambda ws: 2, timeout=5.0)
+        assert len(block) == 2
+        assert block.timeout == 5.0
+        assert all(isinstance(a, Alternative) for a in block)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorldsError):
+            AltBlock([])
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(WorldsError):
+            AltBlock.of(lambda ws: 1, timeout=0)
+
+
+class TestOutcome:
+    def test_failure_sentinel_is_falsy_singleton(self):
+        from repro.core.outcome import _Failure
+
+        assert not FAILURE
+        assert _Failure() is FAILURE
+        assert repr(FAILURE) == "FAILURE"
+
+    def test_block_outcome_value_routing(self):
+        winner = AlternativeResult(index=0, name="w", value=42, succeeded=True)
+        ok = BlockOutcome(winner=winner, elapsed_s=1.0)
+        assert ok.value == 42
+        assert not ok.failed
+        failed = BlockOutcome(winner=None, elapsed_s=1.0)
+        assert failed.failed
+        assert failed.value is FAILURE
+
+
+class TestPolicies:
+    def test_elimination_policy_blocking(self):
+        assert EliminationPolicy.SYNCHRONOUS.blocks_parent
+        assert not EliminationPolicy.ASYNCHRONOUS.blocks_parent
+
+    def test_timeout_policy(self):
+        p = TimeoutPolicy(timeout_s=2.0)
+        assert not p.expired(1.0)
+        assert p.expired(2.0)
+        assert not TimeoutPolicy(None).expired(1e9)

@@ -1,0 +1,93 @@
+"""Tests for the decorator-based block builder."""
+
+import pytest
+
+from repro.core.dsl import WorldsBlock, worlds_block
+from repro.errors import WorldsError
+
+
+def test_bare_decorator_registers():
+    block = worlds_block()
+
+    @block.alternative
+    def only(ws):
+        return 1
+
+    assert len(block) == 1
+    assert block.alternatives[0].name == "only"
+    assert only({}) == 1  # still a plain function
+
+
+def test_parameterized_decorator():
+    block = worlds_block()
+
+    @block.alternative(cost=2.0, name="custom")
+    def method(ws):
+        return "x"
+
+    alt = block.alternatives[0]
+    assert alt.name == "custom"
+    assert alt.cost_for({}) == 2.0
+
+
+def test_run_empty_block_rejected():
+    with pytest.raises(WorldsError):
+        worlds_block().run()
+
+
+def test_end_to_end_sim_run():
+    block = worlds_block(name="sorting", timeout=10.0)
+
+    @block.alternative(cost=1.0, guard=lambda ws, v: ws["data"] == sorted(ws["data"]))
+    def fast_sort(ws):
+        ws["data"] = sorted(ws["data"])
+        return "fast"
+
+    @block.alternative(cost=0.2, guard=lambda ws, v: ws["data"] == sorted(ws["data"]))
+    def wrong_sort(ws):
+        ws["data"] = list(reversed(ws["data"]))
+        return "wrong"
+
+    outcome = block.run(initial={"data": [3, 1, 2]}, backend="sim")
+    assert outcome.value == "fast"
+    assert outcome.extras["state"]["data"] == [1, 2, 3]
+
+
+def test_applies_gate():
+    block = worlds_block()
+
+    @block.alternative(applies=lambda ws: ws.get("enabled", False), cost=0.1)
+    def gated(ws):
+        return "gated"
+
+    @block.alternative(cost=1.0)
+    def fallback(ws):
+        return "fallback"
+
+    outcome = block.run(initial={"enabled": False}, backend="sim")
+    assert outcome.value == "fallback"
+    outcome = block.run(initial={"enabled": True}, backend="sim")
+    assert outcome.value == "gated"
+
+
+def test_block_reusable_across_runs():
+    block = worlds_block()
+
+    @block.alternative(cost=0.5)
+    def work(ws):
+        ws["n"] = ws["n"] + 1
+        return ws["n"]
+
+    assert block.run(initial={"n": 0}).value == 1
+    assert block.run(initial={"n": 10}).value == 11
+
+
+def test_worlds_block_factory_settings():
+    from repro.core.policy import EliminationPolicy
+
+    block = worlds_block(
+        name="b", timeout=3.0, elimination=EliminationPolicy.SYNCHRONOUS
+    )
+    assert isinstance(block, WorldsBlock)
+    assert block.timeout == 3.0
+    assert block.elimination is EliminationPolicy.SYNCHRONOUS

@@ -1,0 +1,63 @@
+"""Tests for mapping kernel AltOutcomes to public BlockOutcomes."""
+
+from repro.analysis.overhead import OverheadBreakdown
+from repro.core.worlds import outcome_from_alt
+from repro.kernel.syscalls import AltOutcome, ChildRecord, TIMEOUT
+
+
+def _child(pid, index, name, status, value=None, reason="", finished=1.0):
+    return ChildRecord(
+        pid=pid, index=index, name=name, status=status, value=value,
+        reason=reason, finished_at=finished,
+    )
+
+
+def test_winner_and_losers_partitioned():
+    alt = AltOutcome(
+        winner_index=1,
+        winner_pid=12,
+        value="won",
+        spawned_at=0.0,
+        committed_at=2.0,
+        parent_resumed_at=2.5,
+        overhead=OverheadBreakdown(setup_s=0.1),
+        children=[
+            _child(11, 0, "a", "eliminated", reason="sibling eliminated"),
+            _child(12, 1, "b", "committed", value="won"),
+            _child(13, 2, "c", "aborted", reason="guard rejected entry"),
+        ],
+    )
+    out = outcome_from_alt(alt, state={"k": 1})
+    assert out.winner.name == "b" and out.winner.succeeded
+    assert out.value == "won"
+    assert [l.name for l in out.losers] == ["a", "c"]
+    assert out.extras["state"] == {"k": 1}
+    # elapsed uses the parent's resume time (includes sync elimination)
+    assert out.elapsed_s == 2.5
+    assert out.overhead.setup_s == 0.1
+
+
+def test_guard_failures_flagged():
+    alt = AltOutcome(
+        winner_index=None, winner_pid=None, value=TIMEOUT, timed_out=True,
+        spawned_at=0.0, committed_at=1.0, parent_resumed_at=1.0,
+        children=[
+            _child(1, 0, "g", "guard-rejected", reason="guard rejected before spawn"),
+            _child(2, 1, "t", "timeout-killed", reason="block timeout"),
+        ],
+    )
+    out = outcome_from_alt(alt)
+    assert out.failed and out.timed_out
+    by_name = {l.name: l for l in out.losers}
+    assert by_name["g"].guard_failed
+    assert not by_name["t"].succeeded
+
+
+def test_per_child_elapsed_relative_to_spawn():
+    alt = AltOutcome(
+        winner_index=0, winner_pid=5, value=1,
+        spawned_at=10.0, committed_at=12.0, parent_resumed_at=12.0,
+        children=[_child(5, 0, "w", "committed", value=1, finished=12.0)],
+    )
+    out = outcome_from_alt(alt)
+    assert out.winner.elapsed_s == 2.0

@@ -1,0 +1,100 @@
+"""Property-based tests for the predicate algebra invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicates import (
+    MessageDecision,
+    PredicateSet,
+    classify_message,
+    split_predicates,
+)
+
+pids = st.integers(min_value=1, max_value=20)
+
+
+@st.composite
+def predicate_sets(draw):
+    must = draw(st.frozensets(pids, max_size=6))
+    cant = draw(st.frozensets(pids, max_size=6))
+    return PredicateSet(must, cant - must)
+
+
+@given(predicate_sets(), predicate_sets())
+@settings(max_examples=300, deadline=None)
+def test_classification_is_exhaustive_and_exclusive(s, r):
+    """Exactly one of accept/ignore/split applies to any (S, R) pair."""
+    decision = classify_message(s, r)
+    agree = s.is_subset_of(r)
+    conflict = s.conflicts_with(r)
+    if agree:
+        assert decision is MessageDecision.ACCEPT
+    elif conflict:
+        assert decision is MessageDecision.IGNORE
+    else:
+        assert decision is MessageDecision.SPLIT
+
+
+@given(predicate_sets(), predicate_sets(), pids)
+@settings(max_examples=300, deadline=None)
+def test_split_worlds_are_consistent_and_disagree_on_sender(s, r, sender):
+    """Both split copies are internally consistent; they differ exactly on
+    complete(sender); the accepting copy implies all of S."""
+    if classify_message(s, r) is not MessageDecision.SPLIT:
+        return
+    if sender in r.cant or sender in s.cant:
+        return  # router ignores these before splitting
+    accepting, rejecting = split_predicates(s, sender, r)
+    # consistency is enforced by the constructor; reaching here means both
+    # copies were constructible
+    assert sender in accepting.must
+    assert s.is_subset_of(accepting)
+    assert r.is_subset_of(accepting)
+    if rejecting is not None:
+        assert sender in rejecting.cant
+        assert r.is_subset_of(rejecting)
+        assert accepting.conflicts_with(rejecting)
+
+
+@given(predicate_sets(), pids, st.booleans())
+@settings(max_examples=300, deadline=None)
+def test_resolution_shrinks_or_kills(p, pid, completed):
+    """resolve() never grows a predicate set and removes the resolved pid."""
+    result = p.resolve(pid, completed)
+    if result is None:
+        # the fact contradicted an assumption
+        assert (completed and pid in p.cant) or (not completed and pid in p.must)
+        return
+    assert result.must <= p.must
+    assert result.cant <= p.cant
+    assert pid not in result.must or completed is not True
+    if completed:
+        assert pid not in result.must
+    else:
+        assert pid not in result.cant
+
+
+@given(predicate_sets(), st.lists(st.tuples(pids, st.booleans()), max_size=15))
+@settings(max_examples=200, deadline=None)
+def test_repeated_resolution_reaches_fixpoint(p, facts):
+    """Applying each fact at most once per pid terminates consistently."""
+    seen = {}
+    current = p
+    for pid, completed in facts:
+        if pid in seen:
+            continue
+        seen[pid] = completed
+        current = current.resolve(pid, completed)
+        if current is None:
+            return
+    # every surviving assumption refers to an unresolved pid
+    for pid in current.must | current.cant:
+        assert pid not in seen
+
+
+@given(predicate_sets(), predicate_sets())
+@settings(max_examples=200, deadline=None)
+def test_union_commutes(a, b):
+    if a.conflicts_with(b):
+        return
+    assert a.union(b) == b.union(a)

@@ -1,0 +1,138 @@
+"""Unit tests for predicate sets and the receive-rule classification."""
+
+import pytest
+
+from repro.core.predicates import (
+    MessageDecision,
+    PredicateSet,
+    classify_message,
+    split_predicates,
+)
+from repro.errors import PredicateError
+
+
+def P(must=(), cant=()):
+    return PredicateSet.of(must, cant)
+
+
+class TestConstruction:
+    def test_empty_is_resolved(self):
+        assert not PredicateSet.empty().unresolved
+
+    def test_inconsistent_construction_rejected(self):
+        with pytest.raises(PredicateError):
+            P(must=[1], cant=[1])
+
+    def test_frozen_and_hashable(self):
+        a = P([1], [2])
+        b = P([1], [2])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDerivation:
+    def test_assume_complete(self):
+        p = P().assume_complete(5)
+        assert 5 in p.must
+        assert p.unresolved
+
+    def test_assume_complete_conflicts(self):
+        with pytest.raises(PredicateError):
+            P(cant=[5]).assume_complete(5)
+
+    def test_assume_incomplete_conflicts(self):
+        with pytest.raises(PredicateError):
+            P(must=[5]).assume_incomplete(5)
+
+    def test_union(self):
+        u = P([1], [2]).union(P([3], [4]))
+        assert u == P([1, 3], [2, 4])
+
+    def test_union_conflict_rejected(self):
+        with pytest.raises(PredicateError):
+            P([1]).union(P(cant=[1]))
+
+    def test_child_predicates_sibling_rivalry(self):
+        parent = P([9])
+        child = parent.child_predicates(2, [1, 2, 3])
+        assert child.must == frozenset({9, 2})
+        assert child.cant == frozenset({1, 3})
+
+    def test_failure_predicates(self):
+        f = P().failure_predicates([1, 2, 3])
+        assert f.cant == frozenset({1, 2, 3})
+        assert not f.must
+
+
+class TestResolution:
+    def test_resolve_must_true_shrinks(self):
+        p = P([1, 2])
+        r = p.resolve(1, True)
+        assert r == P([2])
+
+    def test_resolve_must_false_kills(self):
+        assert P([1]).resolve(1, False) is None
+
+    def test_resolve_cant_true_kills(self):
+        assert P(cant=[1]).resolve(1, True) is None
+
+    def test_resolve_cant_false_shrinks(self):
+        assert P(cant=[1, 2]).resolve(1, False) == P(cant=[2])
+
+    def test_resolve_unrelated_is_identity(self):
+        p = P([1], [2])
+        assert p.resolve(99, True) is p
+
+    def test_full_resolution_reaches_empty(self):
+        p = P([1], [2])
+        p = p.resolve(1, True)
+        p = p.resolve(2, False)
+        assert p == PredicateSet.empty()
+        assert not p.unresolved
+
+
+class TestClassification:
+    def test_empty_sender_always_accepts(self):
+        assert classify_message(P(), P([1], [2])) is MessageDecision.ACCEPT
+
+    def test_subset_accepts(self):
+        assert classify_message(P([1]), P([1, 2])) is MessageDecision.ACCEPT
+
+    def test_conflict_must_vs_cant_ignores(self):
+        assert classify_message(P([1]), P(cant=[1])) is MessageDecision.IGNORE
+
+    def test_conflict_cant_vs_must_ignores(self):
+        assert classify_message(P(cant=[1]), P([1])) is MessageDecision.IGNORE
+
+    def test_extension_splits(self):
+        assert classify_message(P([3]), P([1])) is MessageDecision.SPLIT
+
+    def test_partial_overlap_with_extension_splits(self):
+        assert classify_message(P([1, 3]), P([1])) is MessageDecision.SPLIT
+
+
+class TestSplitPredicates:
+    def test_split_shapes(self):
+        sender = P([7], [8])
+        receiver = P([1])
+        accepting, rejecting = split_predicates(sender, 42, receiver)
+        assert accepting.must == frozenset({1, 7, 42})
+        assert accepting.cant == frozenset({8})
+        assert rejecting.must == frozenset({1})
+        assert rejecting.cant == frozenset({42})
+
+    def test_rejecting_none_when_receiver_already_believes_sender(self):
+        sender = P([7, 42])
+        receiver = P([42])
+        accepting, rejecting = split_predicates(sender, 42, receiver)
+        assert rejecting is None
+        assert 7 in accepting.must
+
+    def test_rejection_negates_only_the_sender(self):
+        # negating every element of S could demand two mutually exclusive
+        # processes complete; the paper negates complete(sender) only.
+        sender = P([7], [8])
+        _, rejecting = split_predicates(sender, 42, P())
+        assert rejecting.cant == frozenset({42})
+        assert 7 not in rejecting.cant
+        assert 8 not in rejecting.must

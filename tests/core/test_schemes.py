@@ -1,0 +1,74 @@
+"""Tests for the Scheme A/B/C selectors."""
+
+import math
+
+import pytest
+
+from repro.core.schemes import (
+    scheme_a,
+    scheme_b,
+    scheme_b_expectation,
+    scheme_c_expectation,
+    scheme_comparison,
+)
+from repro.util.rng import ReplayableRNG
+
+
+class TestSchemeA:
+    def test_picks_lowest_historical_mean(self):
+        history = [[2.0, 1.0, 5.0], [2.0, 1.5, 4.0]]
+        assert scheme_a(history) == 1
+
+    def test_empty_history_arbitrary(self):
+        assert scheme_a([]) == 0
+
+    def test_failed_runs_as_inf(self):
+        history = [[1.0, math.inf], [1.0, math.inf]]
+        assert scheme_a(history) == 0
+
+    def test_all_failed(self):
+        assert scheme_a([[math.inf, math.inf]]) == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_a([[[1.0]]])
+
+
+class TestSchemeB:
+    def test_range(self):
+        rng = ReplayableRNG(0)
+        picks = [scheme_b(3, rng) for _ in range(100)]
+        assert set(picks) == {0, 1, 2}
+
+    def test_deterministic_per_seed(self):
+        a = [scheme_b(5, ReplayableRNG(7)) for _ in range(1)]
+        b = [scheme_b(5, ReplayableRNG(7)) for _ in range(1)]
+        assert a == b
+
+    def test_zero_alternatives_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_b(0, ReplayableRNG(0))
+
+    def test_expectation_is_mean(self):
+        assert scheme_b_expectation([1.0, 3.0]) == 2.0
+
+    def test_expectation_frustrated_by_divergence(self):
+        assert math.isinf(scheme_b_expectation([1.0, math.inf]))
+
+
+class TestSchemeC:
+    def test_expectation_is_best_plus_overhead(self):
+        assert scheme_c_expectation([3.0, 1.0, 2.0], 0.25) == 1.25
+
+    def test_divergent_alternatives_ignored(self):
+        assert scheme_c_expectation([math.inf, 2.0], 0.0) == 2.0
+
+    def test_all_divergent_is_infinite(self):
+        assert math.isinf(scheme_c_expectation([math.inf, math.inf]))
+
+
+def test_scheme_comparison_bundle():
+    out = scheme_comparison([2.0, 4.0], overhead=0.5, history=[[9.0, 1.0]])
+    assert out["scheme_a"] == 4.0  # history liked algorithm 1
+    assert out["scheme_b"] == 3.0
+    assert out["scheme_c"] == 2.5

@@ -1,0 +1,119 @@
+"""Tests for the run_alternatives entry point and backend dispatch."""
+
+import pytest
+
+from repro.core.outcome import FAILURE
+from repro.core.worlds import first_of, run_alternatives, run_alternatives_sim
+from repro.errors import WorldsError
+
+
+def fast(ws):
+    ws["who"] = "fast"
+    return "fast"
+
+
+def slow(ws):
+    ws["who"] = "slow"
+    return "slow"
+
+
+class TestDispatch:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(WorldsError):
+            run_alternatives([fast], backend="quantum")
+
+    def test_empty_alternatives_rejected(self):
+        with pytest.raises(WorldsError):
+            run_alternatives([], backend="sim")
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(WorldsError):
+            run_alternatives([42], backend="sim")
+
+    def test_sim_default_backend(self):
+        outcome = run_alternatives([fast])
+        assert outcome.value == "fast"
+
+    def test_first_of_convenience(self):
+        outcome = first_of(fast, slow)
+        assert outcome.value in ("fast", "slow")
+        assert not outcome.failed
+
+
+class TestSimEntry:
+    def test_returns_kernel_for_inspection(self):
+        outcome, kernel = run_alternatives_sim([fast], initial={"who": None})
+        assert outcome.value == "fast"
+        assert kernel.now > 0
+        assert kernel.stats.forks >= 1
+
+    def test_final_state_exposed(self):
+        outcome, _ = run_alternatives_sim([fast], initial={"who": None, "keep": 7})
+        state = outcome.extras["state"]
+        assert state == {"who": "fast", "keep": 7}
+
+    def test_elapsed_includes_overheads(self):
+        from repro.core.alternative import Alternative
+
+        outcome, _ = run_alternatives_sim([Alternative(fast, sim_cost=1.0)])
+        assert outcome.elapsed_s > 1.0
+        assert outcome.overhead.total_s > 0
+
+    def test_failure_value_is_sentinel(self):
+        def bad(ws):
+            raise RuntimeError("no")
+
+        outcome, _ = run_alternatives_sim([bad])
+        assert outcome.failed
+        assert outcome.value is FAILURE
+
+    def test_seed_controls_kernel_rng(self):
+        def draw(ctx):
+            value = yield ctx.uniform()
+            return value
+
+        a, _ = run_alternatives_sim([draw], seed=1)
+        b, _ = run_alternatives_sim([draw], seed=1)
+        c, _ = run_alternatives_sim([draw], seed=2)
+        assert a.value == b.value
+        assert a.value != c.value
+
+    def test_trace_flag(self):
+        _, kernel = run_alternatives_sim([fast], trace=True)
+        assert len(kernel.trace) > 0
+        assert kernel.trace.of_kind("commit")
+
+
+class TestBackendEquivalence:
+    """The same block gives the same committed semantics on every backend."""
+
+    @pytest.mark.parametrize("backend", ["sim", "thread", "fork"])
+    def test_winner_state_consistency(self, backend):
+        import os
+
+        if backend == "fork" and not hasattr(os, "fork"):
+            pytest.skip("needs fork")
+
+        def correct(ws):
+            ws["out"] = sorted(ws["data"])
+            return "ok"
+
+        outcome = run_alternatives(
+            [correct], initial={"data": [3, 1, 2]}, backend=backend
+        )
+        assert outcome.value == "ok"
+        assert outcome.extras["state"]["out"] == [1, 2, 3]
+
+    @pytest.mark.parametrize("backend", ["sim", "thread", "fork"])
+    def test_all_fail_consistency(self, backend):
+        import os
+
+        if backend == "fork" and not hasattr(os, "fork"):
+            pytest.skip("needs fork")
+
+        def bad(ws):
+            raise ValueError("broken")
+
+        outcome = run_alternatives([bad, bad], backend=backend)
+        assert outcome.failed
+        assert len(outcome.losers) == 2

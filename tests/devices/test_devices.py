@@ -1,0 +1,141 @@
+"""Unit tests for sink/source devices and source buffering."""
+
+import pytest
+
+from repro.devices.backing_store import BackingStoreDevice
+from repro.devices.buffered import BufferedSource
+from repro.devices.teletype import Teletype
+
+
+class TestTeletype:
+    def test_is_source(self):
+        assert Teletype().is_source
+
+    def test_write_is_observable(self):
+        tty = Teletype()
+        tty.write(b"hello ")
+        tty.write(b"world")
+        assert tty.text == "hello world"
+
+    def test_read_consumes_input(self):
+        tty = Teletype(input_script=b"abcdef")
+        assert tty.read(3) == b"abc"
+        assert tty.read(10) == b"def"
+        assert tty.read(1) == b""
+
+    def test_feed_appends(self):
+        tty = Teletype()
+        tty.feed(b"xy")
+        assert tty.read(2) == b"xy"
+
+
+class TestBackingStore:
+    def test_is_sink(self):
+        assert not BackingStoreDevice().is_source
+
+    def test_direct_write_read(self):
+        disk = BackingStoreDevice(size=64)
+        disk.write(b"data", offset=10)
+        assert disk.read(4, offset=10) == b"data"
+
+    def test_out_of_range_write_rejected(self):
+        disk = BackingStoreDevice(size=8)
+        with pytest.raises(ValueError):
+            disk.write(b"123456789")
+
+    def test_staged_write_invisible_until_commit(self):
+        disk = BackingStoreDevice(size=32)
+        disk.stage_write(world=7, data=b"WORLD7", offset=0)
+        assert disk.read(6) == bytes(6)  # outsiders see nothing
+        disk.commit_world(7)
+        assert disk.read(6) == b"WORLD7"
+
+    def test_staging_world_reads_own_writes(self):
+        # the transaction "can read what was written" (paper section 2.1)
+        disk = BackingStoreDevice(size=32)
+        disk.write(b"base", offset=0)
+        disk.stage_write(world=7, data=b"X", offset=1)
+        assert disk.read(4, offset=0, world=7) == b"bXse"
+        assert disk.read(4, offset=0, world=8) == b"base"
+
+    def test_discard_leaves_no_trace(self):
+        disk = BackingStoreDevice(size=32)
+        disk.stage_write(world=7, data=b"SPECULATIVE")
+        disk.discard_world(7)
+        assert disk.read(11) == bytes(11)
+        assert disk.discarded_writes == 1
+        assert 7 not in disk.staged_worlds()
+
+    def test_commit_applies_in_fifo_order(self):
+        disk = BackingStoreDevice(size=8)
+        disk.stage_write(world=1, data=b"AAAA", offset=0)
+        disk.stage_write(world=1, data=b"BB", offset=1)
+        disk.commit_world(1)
+        assert disk.read(4) == b"ABBA"
+
+    def test_transfer_world_moves_journal_in_order(self):
+        disk = BackingStoreDevice(size=16)
+        disk.stage_write(world=1, data=b"A", offset=0)
+        disk.stage_write(world=2, data=b"B", offset=0)  # dst has prior writes
+        disk.stage_write(world=1, data=b"C", offset=1)
+        moved = disk.transfer_world(1, 2)
+        assert moved == 2
+        assert disk.staged_worlds() == [2]
+        disk.commit_world(2)
+        # dst's own write first, then src's in their original order
+        assert disk.read(2) == b"AC"
+
+    def test_transfer_world_empty_src(self):
+        disk = BackingStoreDevice(size=16)
+        assert disk.transfer_world(9, 2) == 0
+
+    def test_independent_worlds(self):
+        disk = BackingStoreDevice(size=8)
+        disk.stage_write(world=1, data=b"1", offset=0)
+        disk.stage_write(world=2, data=b"2", offset=0)
+        disk.commit_world(2)
+        disk.discard_world(1)
+        assert disk.read(1) == b"2"
+
+
+class TestBufferedSource:
+    def test_wraps_sources_only(self):
+        with pytest.raises(ValueError):
+            BufferedSource(BackingStoreDevice())  # type: ignore[arg-type]
+
+    def test_first_reader_pulls_later_readers_replay(self):
+        tty = Teletype(input_script=b"abcdef")
+        buf = BufferedSource(tty)
+        assert buf.read(3, client="r1") == b"abc"
+        assert buf.read(3, client="r2") == b"abc"  # replayed, not re-read
+        assert tty.input_remaining == 3
+        assert buf.real_reads == 1
+        assert buf.replayed_reads == 1
+
+    def test_readers_advance_independently(self):
+        tty = Teletype(input_script=b"abcdef")
+        buf = BufferedSource(tty)
+        assert buf.read(2, client="r1") == b"ab"
+        assert buf.read(4, client="r2") == b"abcd"
+        assert buf.read(2, client="r1") == b"cd"
+
+    def test_replicated_writes_deduplicated(self):
+        tty = Teletype()
+        buf = BufferedSource(tty)
+        buf.write(b"out", client="r1")
+        buf.write(b"out", client="r2")  # replica of the same computation
+        assert tty.text == "out"
+
+    def test_writer_extends_frontier(self):
+        tty = Teletype()
+        buf = BufferedSource(tty)
+        buf.write(b"ab", client="r1")
+        buf.write(b"abcd", client="r2")  # r2 is further along
+        assert tty.text == "abcd"
+
+    def test_forget_client(self):
+        tty = Teletype(input_script=b"abc")
+        buf = BufferedSource(tty)
+        buf.read(2, client="gone")
+        buf.forget_client("gone")
+        assert buf.read(2, client="gone") == b"ab"  # starts over

@@ -1,0 +1,149 @@
+"""Tests for simulated links, remote fork, and process migration."""
+
+import os
+
+import pytest
+
+from repro.analysis.calibration import RFORK_LINK, NetworkProfile
+from repro.distrib.migration import migrate_process
+from repro.distrib.netsim import SimulatedLink
+from repro.distrib.rfork import RemoteFork
+from repro.errors import CheckpointError, NetworkError
+from repro.kernel import Kernel
+
+
+class TestSimulatedLink:
+    def test_transfer_time_latency_plus_bandwidth(self):
+        link = SimulatedLink(NetworkProfile("t", latency_s=0.1, bandwidth_bytes_s=1000))
+        assert link.transfer_time(500) == pytest.approx(0.1 + 0.5)
+
+    def test_ledger_accumulates(self):
+        link = SimulatedLink(NetworkProfile("t", 0.01, 1e6))
+        link.transfer(1000)
+        link.transfer(2000)
+        assert link.bytes_moved == 3000
+        assert len(link.ledger) == 2
+        assert link.clock == pytest.approx(link.busy_seconds)
+
+    def test_jitter_reproducible_and_bounded(self):
+        a = SimulatedLink(NetworkProfile("t", 0.01, 1e6), jitter=0.5, seed=7)
+        b = SimulatedLink(NetworkProfile("t", 0.01, 1e6), jitter=0.5, seed=7)
+        ta, tb = a.transfer(1000), b.transfer(1000)
+        assert ta == tb
+        nominal = a.transfer_time(1000)
+        assert nominal <= ta <= nominal * 1.5
+
+    def test_negative_payload_rejected(self):
+        link = SimulatedLink(NetworkProfile("t", 0.01, 1e6))
+        with pytest.raises(NetworkError):
+            link.transfer(-1)
+
+
+def _remote_task(state):
+    return state["x"] * 2
+
+
+class TestRemoteFork:
+    def test_model_reproduces_1989_magnitudes(self):
+        rf = RemoteFork(SimulatedLink(RFORK_LINK))
+        cost = rf.model(70 * 1024)
+        # "slightly less than a second" of checkpoint work
+        assert 0.7 < cost.checkpoint_s < 1.0
+        # observed ~1.3 s once the network is included
+        assert 1.1 < cost.total_s < 1.6
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+    def test_execute_returns_result_and_breakdown(self):
+        rf = RemoteFork(SimulatedLink(NetworkProfile("fast", 0.0, 1e9)))
+        result, cost = rf.execute(_remote_task, {"x": 21})
+        assert result == 42
+        assert cost.image_bytes > 0
+        assert cost.checkpoint_s >= 0 and cost.restart_s > 0
+
+
+def _echo_server(ctx):
+    total = 0
+    while True:
+        msg = yield ctx.recv()
+        if msg.data == "stop":
+            return total
+        total += msg.data
+        yield ctx.put("total", total)
+
+
+class TestMigration:
+    def _park_server(self, kernel):
+        pid = kernel.spawn(_echo_server, name="server")
+        kernel.run(until=0.001)  # let it reach recv
+        return pid
+
+    def test_migrate_recv_parked_process(self):
+        src, dst = Kernel(cpus=2), Kernel(cpus=2)
+        pid = self._park_server(src)
+        link = SimulatedLink(NetworkProfile("lan", 0.01, 1e6))
+        record = migrate_process(src, pid, dst, link)
+        assert record.src_pid == pid
+        assert record.image_bytes > 0
+        assert record.transfer_s > 0
+        # the migrated server keeps working on the destination machine
+        def driver(ctx, server):
+            yield ctx.send(server, 20)
+            yield ctx.send(server, 22)
+            yield ctx.send(server, "stop")
+
+        dst.spawn(driver, record.dst_pid)
+        dst.run()
+        assert dst.result_of(record.dst_pid) == 42
+
+    def test_migration_carries_heap_state(self):
+        src, dst = Kernel(cpus=2), Kernel(cpus=2)
+        pid = src.spawn(_echo_server, name="server")
+
+        def feeder(ctx, server):
+            yield ctx.send(server, 100)
+
+        src.spawn(feeder, pid)
+        src.run(until=1.0)  # server handled 100, parked at recv again
+        record = migrate_process(src, pid, dst)
+
+        def finisher(ctx, server):
+            yield ctx.send(server, 1)
+            yield ctx.send(server, "stop")
+
+        dst.spawn(finisher, record.dst_pid)
+        dst.run()
+        assert dst.result_of(record.dst_pid) == 101  # state survived the move
+
+    def test_migration_carries_queued_messages(self):
+        # a parked receiver normally drains its mailbox, so manufacture a
+        # queued message directly (white-box) and check it travels along
+        from repro.ipc.message import Message
+
+        src, dst = Kernel(cpus=2), Kernel(cpus=2)
+        pid = self._park_server(src)
+        world = next(w for w in src.worlds_of(pid) if w.alive)
+        world.mailbox.deliver(Message(sender=99, dest=pid, data=7, msg_id=50))
+        world.mailbox.deliver(Message(sender=99, dest=pid, data="stop", msg_id=51))
+        record = migrate_process(src, pid, dst)
+        assert record.queued_messages == 2
+        dst.run()
+        assert dst.result_of(record.dst_pid) == 7
+
+    def test_cannot_migrate_running_process(self):
+        src, dst = Kernel(cpus=2), Kernel(cpus=2)
+
+        def cruncher(ctx):
+            yield ctx.compute(100.0)
+
+        pid = src.spawn(cruncher)
+        src.run(until=1.0)
+        with pytest.raises(CheckpointError):
+            migrate_process(src, pid, dst)
+
+    def test_source_copy_is_dead_after_migration(self):
+        src, dst = Kernel(cpus=2), Kernel(cpus=2)
+        pid = self._park_server(src)
+        migrate_process(src, pid, dst)
+        assert all(not w.alive for w in src.worlds_of(pid))
+        # and no completion fact was fabricated for the moved pid
+        assert pid not in src.facts

@@ -1,0 +1,111 @@
+"""Unit tests for messages, mailboxes and the receive-rule router."""
+
+import pytest
+
+from repro.core.predicates import MessageDecision, PredicateSet
+from repro.ipc.mailbox import Mailbox
+from repro.ipc.message import Message
+from repro.ipc.router import decide_receive
+
+
+def P(must=(), cant=()):
+    return PredicateSet.of(must, cant)
+
+
+def msg(sender=1, dest=2, data="x", pred=None, msg_id=1):
+    return Message(sender, dest, data, pred or P(), msg_id=msg_id)
+
+
+class TestMessage:
+    def test_size_estimate_positive(self):
+        assert msg(data={"k": list(range(100))}).size_bytes() > 50
+
+    def test_unpicklable_payload_gets_nominal_size(self):
+        assert msg(data=lambda: None).size_bytes() == 64
+
+    def test_resolve_survivor_rewrites_predicate(self):
+        m = msg(pred=P([5], [6]))
+        m2 = m.resolve(5, True)
+        assert m2 is not None
+        assert m2.predicate == P([], [6])
+        assert m2.data == m.data and m2.msg_id == m.msg_id
+
+    def test_resolve_contradiction_drops(self):
+        assert msg(pred=P([5])).resolve(5, False) is None
+
+    def test_resolve_unrelated_is_same_object(self):
+        m = msg(pred=P([5]))
+        assert m.resolve(9, True) is m
+
+
+class TestMailbox:
+    def test_fifo_order(self):
+        box = Mailbox(2)
+        for i in range(3):
+            box.deliver(msg(msg_id=i))
+        assert [box.pop().msg_id for _ in range(3)] == [0, 1, 2]
+
+    def test_wrong_destination_rejected(self):
+        box = Mailbox(2)
+        with pytest.raises(ValueError):
+            box.deliver(msg(dest=3))
+
+    def test_peek_does_not_remove(self):
+        box = Mailbox(2)
+        box.deliver(msg())
+        assert box.peek() is box.peek()
+        assert len(box) == 1
+
+    def test_resolve_drops_contradicted_keeps_order(self):
+        box = Mailbox(2)
+        box.deliver(msg(pred=P([5]), msg_id=1))
+        box.deliver(msg(pred=P(), msg_id=2))
+        box.deliver(msg(pred=P(cant=[5]), msg_id=3))
+        dropped = box.resolve(5, False)
+        assert [m.msg_id for m in dropped] == [1]
+        assert [m.msg_id for m in box] == [2, 3]
+        # survivor with cant={5} got its predicate cleared
+        assert box.peek().predicate == P()
+        assert list(box)[1].predicate == P()
+
+    def test_clone_retargets_owner(self):
+        box = Mailbox(2)
+        box.deliver(msg(msg_id=7))
+        copy = box.clone(2)
+        assert copy.pop().msg_id == 7
+        assert len(box) == 1  # original untouched
+
+    def test_drain_with_filter(self):
+        box = Mailbox(2)
+        box.deliver(msg(sender=1, msg_id=1))
+        box.deliver(msg(sender=9, msg_id=2))
+        out = box.drain(lambda m: m.sender == 9)
+        assert [m.msg_id for m in out] == [2]
+        assert len(box) == 1
+
+
+class TestRouter:
+    def test_empty_sender_accepts(self):
+        action = decide_receive(msg(pred=P()), P([1], [2]))
+        assert action.decision is MessageDecision.ACCEPT
+
+    def test_conflicting_ignores(self):
+        action = decide_receive(msg(pred=P([5])), P(cant=[5]))
+        assert action.decision is MessageDecision.IGNORE
+
+    def test_sender_in_receiver_cant_ignores_even_with_empty_predicate(self):
+        action = decide_receive(msg(sender=5, pred=P()), P(cant=[5]))
+        assert action.decision is MessageDecision.IGNORE
+
+    def test_extension_splits_with_both_worlds(self):
+        action = decide_receive(msg(sender=5, pred=P([5], [6])), P())
+        assert action.decision is MessageDecision.SPLIT
+        assert action.accepting.must == frozenset({5})
+        assert action.accepting.cant == frozenset({6})
+        assert action.rejecting.cant == frozenset({5})
+
+    def test_split_with_believing_receiver_has_no_rejecting_world(self):
+        action = decide_receive(msg(sender=5, pred=P([5, 7])), P([5]))
+        assert action.decision is MessageDecision.SPLIT
+        assert action.rejecting is None
+        assert 7 in action.accepting.must

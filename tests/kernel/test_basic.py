@@ -1,0 +1,305 @@
+"""Basic kernel behaviour: processes, virtual time, heap, randomness."""
+
+import pytest
+
+from repro.analysis.calibration import MODERN_SIM
+from repro.errors import DeadlockError, InvalidSyscall, KernelError, ProcessDied
+from repro.kernel import Kernel, ProcState
+
+
+def make_kernel(**kw):
+    kw.setdefault("cpus", 4)
+    return Kernel(**kw)
+
+
+def test_single_process_result_and_time():
+    k = make_kernel()
+
+    def prog(ctx):
+        yield ctx.compute(2.5)
+        return "answer"
+
+    pid = k.spawn(prog)
+    k.run()
+    assert k.result_of(pid) == "answer"
+    assert k.now == pytest.approx(2.5)
+
+
+def test_heap_roundtrip_through_pages():
+    k = make_kernel()
+
+    def prog(ctx):
+        yield ctx.put("nums", list(range(50)))
+        nums = yield ctx.get("nums")
+        yield ctx.put("total", sum(nums))
+        return (yield ctx.get("total"))
+
+    pid = k.spawn(prog)
+    k.run()
+    assert k.result_of(pid) == sum(range(50))
+
+
+def test_heap_get_default():
+    k = make_kernel()
+
+    def prog(ctx):
+        return (yield ctx.get("missing", "fallback"))
+
+    pid = k.spawn(prog)
+    k.run()
+    assert k.result_of(pid) == "fallback"
+
+
+def test_heap_delete_and_snapshot():
+    k = make_kernel()
+
+    def prog(ctx):
+        yield ctx.put("a", 1)
+        yield ctx.put("b", 2)
+        yield ctx.delete("a")
+        return (yield ctx.snapshot())
+
+    pid = k.spawn(prog)
+    k.run()
+    assert k.result_of(pid) == {"b": 2}
+
+
+def test_heap_init():
+    k = make_kernel()
+
+    def prog(ctx):
+        return (yield ctx.get("seed"))
+
+    pid = k.spawn(prog, heap_init={"seed": 99})
+    k.run()
+    assert k.result_of(pid) == 99
+
+
+def test_program_exception_aborts_process():
+    k = make_kernel()
+
+    def prog(ctx):
+        yield ctx.compute(0.1)
+        raise RuntimeError("boom")
+
+    pid = k.spawn(prog)
+    k.run()
+    world = k.worlds_of(pid)[0]
+    assert world.state is ProcState.ABORTED
+    assert "boom" in world.error
+    with pytest.raises(ProcessDied):
+        k.result_of(pid)
+
+
+def test_yielding_garbage_raises_inside_program():
+    k = make_kernel()
+    caught = {}
+
+    def prog(ctx):
+        try:
+            yield "not a syscall"
+        except InvalidSyscall as exc:
+            caught["exc"] = exc
+        return "recovered"
+
+    pid = k.spawn(prog)
+    k.run()
+    assert k.result_of(pid) == "recovered"
+    assert "exc" in caught
+
+
+def test_root_program_must_be_generator():
+    k = make_kernel()
+    with pytest.raises(KernelError):
+        k.spawn(lambda ctx: 42)
+
+
+def test_sleep_does_not_occupy_cpu():
+    k = Kernel(cpus=1)
+
+    def sleeper(ctx):
+        yield ctx.sleep(10.0)
+        return "slept"
+
+    def worker(ctx):
+        yield ctx.compute(1.0)
+        t = yield ctx.now()
+        return t
+
+    spid = k.spawn(sleeper)
+    wpid = k.spawn(worker)
+    k.run()
+    # worker computed for 1s on the single CPU despite the 10s sleeper
+    assert k.result_of(wpid) == pytest.approx(1.0, abs=0.05)
+    assert k.result_of(spid) == "slept"
+
+
+def test_now_and_getpid():
+    k = make_kernel()
+
+    def prog(ctx):
+        t0 = yield ctx.now()
+        pid = yield ctx.getpid()
+        yield ctx.compute(1.0)
+        t1 = yield ctx.now()
+        return (t0, pid, t1)
+
+    pid = k.spawn(prog)
+    k.run()
+    t0, seen_pid, t1 = k.result_of(pid)
+    assert t0 == 0.0
+    assert seen_pid == pid
+    assert t1 == pytest.approx(1.0)
+
+
+def test_draws_are_deterministic_per_seed():
+    def prog(ctx):
+        a = yield ctx.uniform()
+        b = yield ctx.angle()
+        c = yield ctx.integers(0, 100)
+        return (a, b, c)
+
+    results = []
+    for _ in range(2):
+        k = Kernel(seed=42, cpus=2)
+        pid = k.spawn(prog)
+        k.run()
+        results.append(k.result_of(pid))
+    assert results[0] == results[1]
+
+    k = Kernel(seed=43, cpus=2)
+    pid = k.spawn(prog)
+    k.run()
+    assert k.result_of(pid) != results[0]
+
+
+def test_deadlock_detected():
+    k = make_kernel()
+
+    def prog(ctx):
+        yield ctx.recv()  # nobody will ever send
+
+    k.spawn(prog)
+    with pytest.raises(DeadlockError):
+        k.run()
+
+
+def test_run_until_pauses_and_resumes():
+    k = make_kernel()
+
+    def prog(ctx):
+        yield ctx.compute(5.0)
+        return "done"
+
+    pid = k.spawn(prog)
+    k.run(until=2.0)
+    assert k.now == pytest.approx(2.0)
+    with pytest.raises(ProcessDied):
+        k.result_of(pid)
+    k.run()
+    assert k.result_of(pid) == "done"
+
+
+def test_two_processes_share_one_cpu():
+    k = Kernel(cpus=1)
+    finish = {}
+
+    def prog(ctx, label):
+        yield ctx.compute(1.0)
+        finish[label] = yield ctx.now()
+
+    k.spawn(prog, "a")
+    k.spawn(prog, "b")
+    k.run()
+    # both need 1s of CPU; sharing one CPU they finish around 2s
+    assert max(finish.values()) == pytest.approx(2.0, rel=0.05)
+
+
+def test_two_processes_two_cpus_run_in_parallel():
+    k = Kernel(cpus=2)
+    finish = {}
+
+    def prog(ctx, label):
+        yield ctx.compute(1.0)
+        finish[label] = yield ctx.now()
+
+    k.spawn(prog, "a")
+    k.spawn(prog, "b")
+    k.run()
+    assert max(finish.values()) == pytest.approx(1.0, rel=0.05)
+
+
+def test_compute_zero_is_free():
+    k = make_kernel()
+
+    def prog(ctx):
+        for _ in range(10):
+            yield ctx.compute(0)
+        return "ok"
+
+    pid = k.spawn(prog)
+    k.run()
+    assert k.now == 0.0
+    assert k.result_of(pid) == "ok"
+
+
+def test_heap_of_prefers_live_then_done():
+    k = make_kernel()
+
+    def prog(ctx):
+        yield ctx.put("k", "v")
+        return "ok"
+
+    pid = k.spawn(prog)
+    k.run()
+    assert k.heap_of(pid).get("k") == "v"
+    with pytest.raises(ProcessDied):
+        k.heap_of(9999)
+
+
+def test_run_max_events_pauses():
+    k = make_kernel()
+
+    def prog(ctx):
+        for _ in range(50):
+            yield ctx.compute(0.1)
+        return "done"
+
+    pid = k.spawn(prog)
+    k.run(max_events=3)
+    with pytest.raises(ProcessDied):
+        k.result_of(pid)
+    k.run()
+    assert k.result_of(pid) == "done"
+
+
+def test_advance_on_dead_world_is_noop():
+    """Cascades can kill a world between op completion and resume; the
+    driver must leave dead worlds untouched (regression guard)."""
+    k = make_kernel()
+
+    def prog(ctx):
+        yield ctx.compute(0.1)
+        return "done"
+
+    pid = k.spawn(prog)
+    k.run()
+    world = k.worlds_of(pid)[0]
+    assert world.state is ProcState.DONE
+    k._advance(world, None)  # must not resume the finished generator
+    assert world.state is ProcState.DONE
+    assert world.result == "done"
+
+
+def test_negative_compute_rejected_in_program():
+    k = make_kernel()
+
+    def prog(ctx):
+        try:
+            yield ctx.compute(-1)
+        except InvalidSyscall:
+            return "caught"
+
+    pid = k.spawn(prog)
+    k.run()
+    assert k.result_of(pid) == "caught"

@@ -1,0 +1,74 @@
+"""Unit tests for the Context syscall factory."""
+
+from repro.core.policy import EliminationPolicy
+from repro.kernel import syscalls as sc
+from repro.kernel.context import Context
+
+
+def ctx():
+    return Context(pid=7, name="tester")
+
+
+def test_basic_constructors():
+    c = ctx()
+    assert c.compute(1.5) == sc.Compute(1.5)
+    assert c.sleep(2.0) == sc.Sleep(2.0)
+    assert c.now() == sc.Now()
+    assert c.abort("why") == sc.Abort("why")
+    assert c.getpid() == sc.GetPid()
+    assert c.predicates() == sc.GetPredicates()
+
+
+def test_heap_constructors():
+    c = ctx()
+    assert c.put("k", [1]) == sc.HeapPut("k", [1])
+    assert c.get("k", 9) == sc.HeapGet("k", 9)
+    assert c.delete("k") == sc.HeapDelete("k")
+    assert c.snapshot() == sc.HeapSnapshot()
+
+
+def test_ipc_constructors():
+    c = ctx()
+    assert c.send(3, "hi") == sc.Send(3, "hi")
+    assert c.recv(4.0) == sc.Recv(4.0)
+    assert c.recv() == sc.Recv(None)
+
+
+def test_alt_constructors():
+    c = ctx()
+    spawn = c.alt_spawn([lambda ws: 1])
+    assert isinstance(spawn, sc.AltSpawn) and len(spawn.alternatives) == 1
+    wait = c.alt_wait(5.0, EliminationPolicy.SYNCHRONOUS)
+    assert wait.timeout == 5.0
+    assert wait.elimination is EliminationPolicy.SYNCHRONOUS
+
+
+def test_device_constructors():
+    c = ctx()
+    assert c.device_write("d", b"x", 4) == sc.DeviceWrite("d", b"x", 4)
+    assert c.device_read("d", 8, 2) == sc.DeviceRead("d", 8, 2)
+
+
+def test_draw_constructors():
+    c = ctx()
+    assert c.uniform(1, 2) == sc.Draw("uniform", (1, 2))
+    assert c.integers(0, 5) == sc.Draw("integers", (0, 5))
+    assert c.angle() == sc.Draw("angle", ())
+    assert c.exponential(2.0) == sc.Draw("exponential", (2.0,))
+    assert c.normal(1.0, 0.5) == sc.Draw("normal", (1.0, 0.5))
+
+
+def test_composite_helpers_are_generators():
+    c = ctx()
+    gen = c.run_alternatives([lambda ws: 1])
+    first = next(gen)
+    assert isinstance(first, sc.AltSpawn)
+    gen2 = c.print("hello")
+    op = next(gen2)
+    assert op == sc.DeviceWrite("tty", b"hello\n")
+
+
+def test_pid_and_name_exposed():
+    c = ctx()
+    assert c.pid == 7
+    assert c.name == "tester"

@@ -1,0 +1,130 @@
+"""Determinism and scheduling properties of the simulation kernel.
+
+The kernel promises: same programs + same seed ⇒ identical virtual
+timeline, world population and results. These tests run randomized
+workloads twice and diff everything observable, and property-test the
+response-time algebra the figures depend on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Alternative, run_alternatives_sim
+from repro.kernel import Kernel
+
+
+def _workload(kernel: Kernel, n_procs: int, seed_offset: int):
+    pids = []
+
+    def chatter(ctx, peers):
+        me = yield ctx.getpid()
+        value = yield ctx.uniform()
+        yield ctx.put("value", value)
+        yield ctx.compute(0.01 * (me % 3 + 1))
+        for peer in peers:
+            yield ctx.send(peer, (me, value))
+        got = []
+        for _ in range(len(peers)):
+            msg = yield ctx.recv(timeout=5.0)
+            if msg:
+                got.append(msg.data)
+        return sorted(got)
+
+    # ring topology: everyone messages the next two pids
+    first = kernel._pids.peek()
+    expected = [first + i for i in range(n_procs)]
+    for i in range(n_procs):
+        peers = [expected[(i + 1) % n_procs], expected[(i + 2) % n_procs]]
+        pids.append(kernel.spawn(chatter, peers, name=f"p{i}"))
+    return pids
+
+
+def _fingerprint(kernel: Kernel, pids):
+    return {
+        "now": kernel.now,
+        "results": [kernel.result_of(p) for p in pids],
+        "facts": dict(kernel.facts),
+        "cpu": [round(w.cpu_time_s, 12) for w in kernel.worlds.values()],
+        "events": [(e.time, e.kind, e.pid) for e in kernel.trace],
+    }
+
+
+def test_identical_runs_produce_identical_timelines():
+    prints = []
+    for _ in range(2):
+        kernel = Kernel(cpus=2, seed=123, trace=True)
+        pids = _workload(kernel, 5, 0)
+        kernel.run()
+        prints.append(_fingerprint(kernel, pids))
+    assert prints[0] == prints[1]
+
+
+def test_different_seed_changes_drawn_values_only_deterministically():
+    kernels = []
+    for seed in (1, 2):
+        kernel = Kernel(cpus=2, seed=seed)
+        pids = _workload(kernel, 4, 0)
+        kernel.run()
+        kernels.append([kernel.result_of(p) for p in pids])
+    assert kernels[0] != kernels[1]
+
+
+@given(
+    costs=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=6)
+)
+@settings(max_examples=60, deadline=None)
+def test_response_time_tracks_fastest_with_enough_cpus(costs):
+    """With one CPU per alternative, response ~= min cost + overhead."""
+    alternatives = [
+        Alternative(lambda ws, _i=i: _i, name=f"a{i}", sim_cost=c)
+        for i, c in enumerate(costs)
+    ]
+    outcome, kernel = run_alternatives_sim(alternatives, cpus=len(costs))
+    best = min(costs)
+    assert outcome.elapsed_s >= best
+    # overhead on MODERN_SIM is microseconds; one quantum of slack
+    assert outcome.elapsed_s <= best + kernel.profile.quantum_s + 0.01
+    assert outcome.winner.index == costs.index(best)
+
+
+@given(
+    costs=st.lists(st.floats(min_value=0.05, max_value=2.0), min_size=2, max_size=5),
+    cpus=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_work_conservation_under_contention(costs, cpus):
+    """Total simulated CPU time equals the work of worlds that ran.
+
+    The winner consumes its full cost; losers consume at most theirs.
+    Virtual wall clock is bounded by total work (1 CPU) and by the
+    fastest alternative's cost (infinite CPUs).
+    """
+    alternatives = [
+        Alternative(lambda ws, _i=i: _i, name=f"a{i}", sim_cost=c)
+        for i, c in enumerate(costs)
+    ]
+    outcome, kernel = run_alternatives_sim(alternatives, cpus=cpus)
+    assert not outcome.failed
+    total_work = sum(costs)
+    assert outcome.elapsed_s <= total_work / min(cpus, 1) + 0.05
+    assert outcome.elapsed_s >= min(costs) - 1e-9
+    consumed = sum(w.cpu_time_s for w in kernel.worlds.values())
+    assert consumed <= total_work + 0.05
+
+
+@given(st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_no_frames_leak_across_blocks(n_alts):
+    """After a block settles, live frames == the parent's pages only."""
+    alternatives = [
+        Alternative(lambda ws, _i=i: _i, name=f"a{i}", sim_cost=0.1 * (i + 1))
+        for i in range(n_alts)
+    ]
+    outcome, kernel = run_alternatives_sim(
+        alternatives, initial={"blob": bytes(20_000)}
+    )
+    assert not outcome.failed
+    parent_world = next(w for w in kernel.worlds.values() if w.name == "block-parent")
+    parent_pages = len(parent_world.heap.space.table)
+    assert kernel.pool.live_frames == parent_pages

@@ -1,0 +1,252 @@
+"""Source gating and sink staging through the kernel (paper 2.1, 2.4.2)."""
+
+import pytest
+
+from repro.devices.backing_store import BackingStoreDevice
+from repro.devices.teletype import Teletype
+from repro.errors import SourceAccessError
+from repro.kernel import Kernel
+
+
+def K(**kw):
+    kw.setdefault("cpus", 8)
+    return Kernel(**kw)
+
+
+class TestSourceGating:
+    def test_unpredicated_process_may_print(self):
+        k = K()
+
+        def prog(ctx):
+            yield from ctx.print("hello")
+            return "ok"
+
+        pid = k.spawn(prog)
+        k.run()
+        assert k.result_of(pid) == "ok"
+        assert k.device("tty").text == "hello\n"
+
+    def test_speculative_world_blocks_on_source_until_commit(self):
+        k = K(trace=True)
+
+        def parent(ctx):
+            def noisy(c):
+                yield c.compute(0.1)
+                yield c.device_write("tty", b"speculative!\n")
+                return "noisy"
+
+            def quiet(c):
+                yield c.compute(5.0)
+                return "quiet"
+
+            out = yield from ctx.run_alternatives([noisy, quiet])
+            return out.value
+
+        pid = k.spawn(parent)
+        k.run()
+        # noisy is blocked at the source forever (its predicates can only
+        # resolve at its own sync, which it never reaches), so quiet wins.
+        assert k.result_of(pid) == "quiet"
+        assert k.device("tty").text == ""
+        assert len(k.trace.of_kind("source-block")) == 1
+
+    def test_strict_policy_raises_in_program(self):
+        k = Kernel(cpus=4, source_policy="strict")
+
+        def parent(ctx):
+            def naughty(c):
+                try:
+                    yield c.device_write("tty", b"nope")
+                except SourceAccessError:
+                    yield c.abort("cannot touch sources")
+
+            def good(c):
+                yield c.compute(0.5)
+                return "good"
+
+            out = yield from ctx.run_alternatives([naughty, good])
+            return out.value
+
+        pid = k.spawn(parent)
+        k.run()
+        assert k.result_of(pid) == "good"
+
+    def test_split_world_blocks_on_source_until_resolution(self):
+        # an ordinary process that accepted a speculative message becomes
+        # speculative itself and must wait before printing
+        k = K(trace=True)
+
+        def receiver(ctx):
+            msg = yield ctx.recv(timeout=60.0)
+            if msg:
+                yield ctx.device_write("tty", f"got {msg.data}\n".encode())
+                return "printed"
+            return "timeout"
+
+        def parent(ctx, dst):
+            def talker(c):
+                yield c.compute(0.1)
+                yield c.send(dst, "news")
+                yield c.compute(0.4)
+                return "talker"
+
+            out = yield from ctx.run_alternatives([talker])
+            return out.value
+
+        rpid = k.spawn(receiver, name="receiver")
+        k.spawn(parent, rpid, name="parent")
+        k.run()
+        assert k.result_of(rpid) == "printed"
+        assert k.device("tty").text == "got news\n"
+        blocks = k.trace.of_kind("source-block")
+        unblocks = k.trace.of_kind("source-unblock")
+        assert len(blocks) == 1 and len(unblocks) == 1
+        # print only became visible after the talker committed
+        commit_time = k.trace.of_kind("commit")[0].time
+        assert unblocks[0].time >= commit_time
+
+
+class TestSinkStaging:
+    def test_speculative_sink_write_staged_and_committed(self):
+        k = K()
+        disk = BackingStoreDevice("disk", size=128)
+        k.add_device(disk)
+
+        def parent(ctx):
+            def writer(c):
+                yield c.compute(0.1)
+                yield c.device_write("disk", b"WINNER", 0)
+                return "writer"
+
+            def rival(c):
+                yield c.compute(5.0)
+                return "rival"
+
+            out = yield from ctx.run_alternatives([writer, rival])
+            return out.value
+
+        pid = k.spawn(parent)
+        k.run()
+        assert k.result_of(pid) == "writer"
+        assert disk.read(6) == b"WINNER"
+
+    def test_loser_sink_writes_discarded(self):
+        k = K()
+        disk = BackingStoreDevice("disk", size=128)
+        k.add_device(disk)
+
+        def parent(ctx):
+            def loser(c):
+                yield c.device_write("disk", b"LOSERDATA", 0)
+                yield c.compute(10.0)
+                return "loser"
+
+            def winner(c):
+                yield c.compute(0.2)
+                return "winner"
+
+            out = yield from ctx.run_alternatives([loser, winner])
+            return out.value
+
+        pid = k.spawn(parent)
+        k.run()
+        assert k.result_of(pid) == "winner"
+        assert disk.read(9) == bytes(9)
+        assert disk.discarded_writes == 1
+
+    def test_speculative_world_reads_its_own_sink_writes(self):
+        k = K()
+        disk = BackingStoreDevice("disk", size=128)
+        disk.write(b"base", offset=0)
+        k.add_device(disk)
+
+        def parent(ctx):
+            def writer(c):
+                yield c.device_write("disk", b"X", 1)
+                data = yield c.device_read("disk", 4, 0)
+                return data
+
+            out = yield from ctx.run_alternatives([writer])
+            return out.value
+
+        pid = k.spawn(parent)
+        k.run()
+        assert k.result_of(pid) == b"bXse"
+        assert disk.read(4) == b"bXse"  # committed after the win
+
+    def test_nested_winner_staging_migrates_to_parent_world(self):
+        # inner winner's staged writes must not flush while the outer
+        # alternative is still speculative; they flush when IT commits
+        k = K()
+        disk = BackingStoreDevice("disk", size=128)
+        k.add_device(disk)
+
+        def parent(ctx):
+            def outer(c):
+                def inner(cc):
+                    yield cc.device_write("disk", b"NESTED", 0)
+                    return "inner"
+
+                out = yield from c.run_alternatives([inner])
+                yield c.compute(0.1)
+                return f"outer+{out.value}"
+
+            def rival(c):
+                yield c.compute(5.0)
+                return "rival"
+
+            out = yield from ctx.run_alternatives([outer, rival])
+            return out.value
+
+        pid = k.spawn(parent)
+        k.run()
+        assert k.result_of(pid) == "outer+inner"
+        assert disk.read(6) == b"NESTED"
+
+    def test_nested_loser_staging_discarded(self):
+        k = K()
+        disk = BackingStoreDevice("disk", size=128)
+        k.add_device(disk)
+
+        def parent(ctx):
+            def outer_loser(c):
+                def inner(cc):
+                    yield cc.device_write("disk", b"DOOMED", 0)
+                    return "inner"
+
+                out = yield from c.run_alternatives([inner])
+                yield c.compute(50.0)
+                return out.value
+
+            def winner(c):
+                yield c.compute(0.3)
+                return "winner"
+
+            out = yield from ctx.run_alternatives([outer_loser, winner])
+            return out.value
+
+        pid = k.spawn(parent)
+        k.run()
+        assert k.result_of(pid) == "winner"
+        assert disk.read(6) == bytes(6)
+
+
+class TestBufferedSourceIntegration:
+    def test_replicated_readers_see_same_data(self):
+        from repro.devices.buffered import BufferedSource
+
+        k = K()
+        tty_in = Teletype("raw-input", input_script=b"0123456789")
+        buffered = BufferedSource(tty_in, name="input")
+        k.add_device(buffered)
+
+        def reader(ctx):
+            data = yield ctx.device_read("input", 4)
+            return data
+
+        p1 = k.spawn(reader)
+        p2 = k.spawn(reader)
+        k.run()
+        assert k.result_of(p1) == b"0123"
+        assert k.result_of(p2) == b"0123"
+        assert tty_in.input_remaining == 6  # consumed once, not twice

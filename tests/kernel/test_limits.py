@@ -1,0 +1,47 @@
+"""Kernel resource-limit guards."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import Kernel
+
+
+def test_max_worlds_validated():
+    with pytest.raises(ValueError):
+        Kernel(max_worlds=0)
+
+
+def test_world_limit_stops_runaway_spawning():
+    k = Kernel(cpus=2, max_worlds=8)
+
+    def spawner(ctx):
+        def leaf(c):
+            yield c.compute(0.1)
+            return "leaf"
+
+        # each block creates 3 children; looping blocks would eventually
+        # cross the limit because dead worlds stay in the ledger
+        for _ in range(10):
+            out = yield from ctx.run_alternatives([leaf, leaf, leaf])
+            assert out.value == "leaf"
+        return "done"
+
+    k.spawn(spawner)
+    with pytest.raises(KernelError, match="world limit"):
+        k.run()
+
+
+def test_generous_limit_is_invisible():
+    k = Kernel(cpus=2, max_worlds=100)
+
+    def spawner(ctx):
+        def leaf(c):
+            yield c.compute(0.01)
+            return "leaf"
+
+        out = yield from ctx.run_alternatives([leaf, leaf])
+        return out.value
+
+    pid = k.spawn(spawner)
+    k.run()
+    assert k.result_of(pid) == "leaf"

@@ -1,0 +1,359 @@
+"""Predicated IPC in the kernel: delivery, splits, pruning, replay.
+
+Covers paper sections 2.3 and 2.4: messages from speculative worlds carry
+their predicates; receivers accept, ignore, or split; when senders resolve,
+exactly one receiver copy survives.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError, KernelError
+from repro.kernel import Kernel, ProcState, TIMEOUT
+
+
+def K(**kw):
+    kw.setdefault("cpus", 8)
+    return Kernel(**kw)
+
+
+class TestPlainMessaging:
+    def test_send_recv_roundtrip(self):
+        k = K()
+
+        def receiver(ctx):
+            msg = yield ctx.recv()
+            return msg.data
+
+        def sender(ctx, dst):
+            yield ctx.send(dst, {"payload": 7})
+            return "sent"
+
+        rpid = k.spawn(receiver)
+        k.spawn(sender, rpid)
+        k.run()
+        assert k.result_of(rpid) == {"payload": 7}
+
+    def test_fifo_ordering(self):
+        k = Kernel(cpus=1)
+
+        def receiver(ctx):
+            got = []
+            for _ in range(3):
+                msg = yield ctx.recv()
+                got.append(msg.data)
+            return got
+
+        def sender(ctx, dst):
+            for i in range(3):
+                yield ctx.send(dst, i)
+
+        rpid = k.spawn(receiver)
+        k.spawn(sender, rpid)
+        k.run()
+        assert k.result_of(rpid) == [0, 1, 2]
+
+    def test_recv_timeout(self):
+        k = K()
+
+        def receiver(ctx):
+            msg = yield ctx.recv(timeout=1.0)
+            return "timeout" if msg is TIMEOUT else msg.data
+
+        rpid = k.spawn(receiver)
+        k.run()
+        assert k.result_of(rpid) == "timeout"
+        assert k.now == pytest.approx(1.0)
+
+    def test_message_to_dead_process_is_dead_letter(self):
+        k = K(trace=True)
+
+        def short(ctx):
+            yield ctx.compute(0.1)
+            return "gone"
+
+        def sender(ctx, dst):
+            yield ctx.compute(1.0)
+            yield ctx.send(dst, "too late")
+            return "sent"
+
+        spid_target = k.spawn(short)
+        spid = k.spawn(sender, spid_target)
+        k.run()
+        assert k.result_of(spid) == "sent"
+        assert len(k.trace.of_kind("dead-letter")) == 1
+
+    def test_message_carries_sender_pid_and_time(self):
+        k = K()
+
+        def receiver(ctx):
+            msg = yield ctx.recv()
+            return (msg.sender, msg.sent_at > 0)
+
+        def sender(ctx, dst):
+            yield ctx.compute(0.5)
+            yield ctx.send(dst, "hi")
+
+        rpid = k.spawn(receiver)
+        spid = k.spawn(sender, rpid)
+        k.run()
+        sender_pid, has_time = k.result_of(rpid)
+        assert sender_pid == spid
+        assert has_time
+
+    def test_send_cost_scales_with_size(self):
+        def prog_factory(payload):
+            def prog(ctx, dst):
+                yield ctx.send(dst, payload)
+            return prog
+
+        def sink(ctx):
+            yield ctx.recv()
+            return "ok"
+
+        times = []
+        for payload in (b"x", b"x" * 500_000):
+            k = K()
+            rpid = k.spawn(sink)
+            k.spawn(prog_factory(payload), rpid)
+            k.run()
+            times.append(k.now)
+        assert times[1] > times[0]
+
+
+class TestPredicatedMessaging:
+    def _world_split_setup(self, k, send_delay, winner_delay, loser_extra):
+        """A block where alternative A sends to an outside receiver."""
+
+        def receiver(ctx):
+            msg = yield ctx.recv(timeout=50.0)
+            if msg is TIMEOUT:
+                return "no-message"
+            return msg.data
+
+        def parent(ctx, dst):
+            def talker(c):
+                yield c.compute(send_delay)
+                yield c.send(dst, "speculative-hello")
+                yield c.compute(loser_extra)
+                return "talker"
+
+            def rival(c):
+                yield c.compute(winner_delay)
+                return "rival"
+
+            out = yield from ctx.run_alternatives([talker, rival])
+            return out.value
+
+        rpid = k.spawn(receiver, name="receiver")
+        ppid = k.spawn(parent, rpid, name="parent")
+        return rpid, ppid
+
+    def test_receiver_splits_on_speculative_message(self):
+        k = K(trace=True)
+        self._world_split_setup(k, 0.1, 10.0, 0.1)
+        k.run()
+        assert len(k.trace.of_kind("world-split")) == 1
+
+    def test_sender_wins_accepting_world_survives(self):
+        k = K()
+        rpid, ppid = self._world_split_setup(k, 0.1, 10.0, 0.1)
+        k.run()
+        assert k.result_of(ppid) == "talker"
+        assert k.result_of(rpid) == "speculative-hello"
+
+    def test_sender_loses_rejecting_world_survives(self):
+        k = K()
+        rpid, ppid = self._world_split_setup(k, 0.1, 0.5, 100.0)
+        k.run()
+        assert k.result_of(ppid) == "rival"
+        # the accepting receiver copy died with the talker; the rejecting
+        # copy never saw a message and timed out
+        assert k.result_of(rpid) == "no-message"
+
+    def test_exactly_one_receiver_world_survives(self):
+        for delays in [(0.1, 10.0, 0.1), (0.1, 0.5, 100.0)]:
+            k = K()
+            rpid, _ = self._world_split_setup(k, *delays)
+            k.run()
+            done = [w for w in k.worlds_of(rpid) if w.state is ProcState.DONE]
+            assert len(done) == 1
+
+    def test_receiver_blocked_sync_until_sender_resolves(self):
+        k = K(trace=True)
+        self._world_split_setup(k, 0.1, 10.0, 5.0)
+        k.run()
+        # receiver finished its program before the talker committed, so it
+        # had to defer its completion
+        assert len(k.trace.of_kind("sync-defer")) >= 1
+        assert len(k.trace.of_kind("sync-retry")) >= 1
+
+    def test_sibling_messages_are_ignored(self):
+        # an alternative assumes its siblings do NOT complete, so a message
+        # from a sibling conflicts and is ignored
+        k = K(trace=True)
+
+        def parent(ctx):
+            def chatty(c):
+                me = yield c.getpid()
+                # sibling pid is me+1 by allocation order (fragile but
+                # deterministic in this kernel)
+                yield c.send(me + 1, "psst")
+                yield c.compute(5.0)
+                return "chatty"
+
+            def listener(c):
+                msg = yield c.recv(timeout=1.0)
+                if msg is TIMEOUT:
+                    return "ignored-sibling"
+                return f"heard: {msg.data}"
+
+            out = yield from ctx.run_alternatives([chatty, listener])
+            return out.value
+
+        ppid = k.spawn(parent)
+        k.run()
+        assert k.result_of(ppid) == "ignored-sibling"
+        assert len(k.trace.of_kind("msg-ignore")) == 1
+
+    def test_unpredicated_message_accepted_without_split(self):
+        k = K(trace=True)
+
+        def receiver(ctx):
+            msg = yield ctx.recv()
+            return msg.data
+
+        def sender(ctx, dst):
+            yield ctx.send(dst, "plain")
+
+        rpid = k.spawn(receiver)
+        k.spawn(sender, rpid)
+        k.run()
+        assert k.result_of(rpid) == "plain"
+        assert len(k.trace.of_kind("world-split")) == 0
+
+    def test_split_receiver_heaps_are_isolated(self):
+        k = K()
+        results = {}
+
+        def receiver(ctx):
+            yield ctx.put("log", [])
+            msg = yield ctx.recv(timeout=20.0)
+            log = yield ctx.get("log")
+            if msg is TIMEOUT:
+                log.append("timeout")
+            else:
+                log.append(msg.data)
+            yield ctx.put("log", log)
+            return log
+
+        def parent(ctx, dst):
+            def talker(c):
+                yield c.compute(0.1)
+                yield c.send(dst, "world-A")
+                yield c.compute(0.2)
+                return "talker"
+
+            def rival(c):
+                yield c.compute(10.0)
+                return "rival"
+
+            out = yield from ctx.run_alternatives([talker, rival])
+            return out.value
+
+        rpid = k.spawn(receiver, name="receiver")
+        k.spawn(parent, rpid, name="parent")
+        k.run()
+        assert k.result_of(rpid) == ["world-A"]
+
+    def test_queued_messages_pruned_when_sender_dies(self):
+        k = K(trace=True)
+
+        def receiver(ctx):
+            # busy long enough that the speculative message queues, then
+            # the sender's world dies before we ever look at it
+            yield ctx.compute(5.0)
+            msg = yield ctx.recv(timeout=1.0)
+            return "pruned" if msg is TIMEOUT else msg.data
+
+        def parent(ctx, dst):
+            def loser(c):
+                yield c.send(dst, "doomed")
+                yield c.compute(50.0)
+                return "loser"
+
+            def winner(c):
+                yield c.compute(0.5)
+                return "winner"
+
+            out = yield from ctx.run_alternatives([loser, winner])
+            return out.value
+
+        rpid = k.spawn(receiver, name="receiver")
+        ppid = k.spawn(parent, rpid, name="parent")
+        k.run()
+        assert k.result_of(ppid) == "winner"
+        assert k.result_of(rpid) == "pruned"
+
+
+class TestReplayCloning:
+    def test_clone_replays_heap_and_draws(self):
+        # the receiver does nontrivial work (heap writes, random draws)
+        # before blocking; the rejecting clone must reconstruct exactly
+        k = K()
+
+        def receiver(ctx):
+            u = yield ctx.uniform()
+            yield ctx.put("u", u)
+            yield ctx.compute(0.05)
+            msg = yield ctx.recv(timeout=30.0)
+            stored = yield ctx.get("u")
+            tag = "timeout" if msg is TIMEOUT else msg.data
+            return (stored, u, tag)
+
+        def parent(ctx, dst):
+            def loser(c):
+                yield c.compute(0.1)
+                yield c.send(dst, "from-loser")
+                yield c.compute(100.0)
+                return "loser"
+
+            def winner(c):
+                yield c.compute(0.5)
+                return "winner"
+
+            out = yield from ctx.run_alternatives([loser, winner])
+            return out.value
+
+        rpid = k.spawn(receiver, name="receiver")
+        k.spawn(parent, rpid, name="parent")
+        k.run()
+        stored, drawn, tag = k.result_of(rpid)
+        assert tag == "timeout"  # the surviving world is the rejecting one
+        assert stored == drawn  # heap state identical to the original's
+
+    def test_split_during_outstanding_block_rejected(self):
+        k = K()
+
+        def receiver(ctx):
+            def child(c):
+                yield c.compute(10.0)
+                return "child"
+
+            yield ctx.alt_spawn([child])
+            msg = yield ctx.recv()  # illegal: un-waited block outstanding
+            _ = msg
+            yield ctx.alt_wait()
+
+        def parent(ctx, dst):
+            def talker(c):
+                yield c.send(dst, "hello")
+                yield c.compute(1.0)
+                return "talker"
+
+            out = yield from ctx.run_alternatives([talker])
+            return out.value
+
+        rpid = k.spawn(receiver, name="receiver")
+        k.spawn(parent, rpid, name="parent")
+        with pytest.raises((KernelError, DeadlockError)):
+            k.run()

@@ -1,0 +1,114 @@
+"""The paper's §3.3 semantic anchor, property-tested.
+
+"To an observer, the concurrent execution of the C_i must look like
+Scheme B; that is, that we have followed a single thread of computation,
+chosen arbitrarily from amongst C_1,...,C_N."
+
+For randomized blocks of state-mutating alternatives we assert: the
+committed final state is byte-for-byte what *some single alternative run
+sequentially against the initial state* would have produced — never a
+mix, never a phantom.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Alternative, run_alternatives_sim
+
+# an alternative is a list of (key, value) writes plus optional deletes
+write_lists = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c", "d"]), st.integers(0, 99)),
+    min_size=0,
+    max_size=5,
+)
+
+alternative_specs = st.tuples(
+    write_lists,
+    st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=2),  # deletes
+    st.floats(min_value=0.01, max_value=2.0),  # cost
+    st.booleans(),  # aborts?
+)
+
+
+def _apply_sequentially(initial: dict, writes, deletes) -> dict:
+    state = dict(initial)
+    for key, value in writes:
+        state[key] = value
+    for key in deletes:
+        state.pop(key, None)
+    return state
+
+
+def _make_alternative(index, writes, deletes, cost, aborts):
+    def body(ws: dict):
+        for key, value in writes:
+            ws[key] = value
+        for key in deletes:
+            ws.pop(key, None)
+        if aborts:
+            raise RuntimeError("this alternative fails")
+        return index
+
+    return Alternative(body, name=f"alt{index}", sim_cost=cost)
+
+
+@given(
+    specs=st.lists(alternative_specs, min_size=1, max_size=5),
+    initial_vals=st.fixed_dictionaries(
+        {}, optional={k: st.integers(0, 9) for k in ["a", "b", "c"]}
+    ),
+    cpus=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=120, deadline=None)
+def test_committed_state_is_some_sequential_execution(specs, initial_vals, cpus):
+    initial = dict(initial_vals)
+    alternatives = [
+        _make_alternative(i, writes, deletes, cost, aborts)
+        for i, (writes, deletes, cost, aborts) in enumerate(specs)
+    ]
+    outcome, _ = run_alternatives_sim(alternatives, initial=initial, cpus=cpus)
+
+    legal_states = [
+        _apply_sequentially(initial, writes, deletes)
+        for (writes, deletes, _, aborts) in specs
+        if not aborts
+    ]
+    final = outcome.extras["state"]
+    if outcome.failed:
+        # the failure alternative: the parent's state is untouched
+        assert final == initial
+        assert all(aborts for (_, _, _, aborts) in specs)
+    else:
+        assert final in legal_states
+        # and specifically the winner's own sequential state
+        w = outcome.winner.index
+        writes, deletes, _, aborts = specs[w]
+        assert not aborts
+        assert final == _apply_sequentially(initial, writes, deletes)
+
+
+@given(
+    specs=st.lists(alternative_specs, min_size=2, max_size=4),
+    cpus=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=80, deadline=None)
+def test_winner_is_fastest_surviving_alternative(specs, cpus):
+    """Under equal CPU supply, the cheapest non-aborting alternative wins;
+    under contention the winner is still a non-aborting one."""
+    alternatives = [
+        _make_alternative(i, writes, deletes, cost, aborts)
+        for i, (writes, deletes, cost, aborts) in enumerate(specs)
+    ]
+    outcome, _ = run_alternatives_sim(alternatives, cpus=cpus)
+    survivors = [i for i, (_, _, _, aborts) in enumerate(specs) if not aborts]
+    if not survivors:
+        assert outcome.failed
+        return
+    assert outcome.winner.index in survivors
+    if cpus >= len(specs):
+        costs = {i: specs[i][2] for i in survivors}
+        best = min(costs, key=costs.__getitem__)
+        # ties in cost may be broken either way by scheduling order
+        assert abs(costs[outcome.winner.index] - costs[best]) < 1e-9 or (
+            outcome.winner.index == best
+        )

@@ -1,0 +1,246 @@
+"""Stress tests for the world-splitting machinery.
+
+Multiple speculative senders, chained splits, transitive speculation
+(receiver of a receiver), and the at-most-one-survivor invariant under
+every resolution order.
+"""
+
+import pytest
+
+from repro.kernel import Kernel, ProcState, TIMEOUT
+
+
+def K(**kw):
+    kw.setdefault("cpus", 16)
+    return Kernel(**kw)
+
+
+class TestMultipleSenders:
+    def _two_blocks_one_receiver(self, k, winner_a, winner_b):
+        """Two independent alt blocks; one alternative of each messages
+        the same receiver. The receiver can split twice (4 predicate
+        worlds), and exactly one interpretation survives."""
+
+        def receiver(ctx):
+            got = []
+            for _ in range(2):
+                msg = yield ctx.recv(timeout=30.0)
+                if msg is TIMEOUT:
+                    break
+                got.append(msg.data)
+            return sorted(got)
+
+        rpid = k.spawn(receiver, name="receiver")
+
+        def make_parent(tag, talker_wins):
+            def parent(ctx):
+                def talker(c):
+                    yield c.compute(0.1)
+                    yield c.send(rpid, f"{tag}-talker")
+                    yield c.compute(0.1 if talker_wins else 10.0)
+                    return f"{tag}-talker"
+
+                def rival(c):
+                    yield c.compute(5.0 if talker_wins else 0.5)
+                    return f"{tag}-rival"
+
+                out = yield from ctx.run_alternatives([talker, rival])
+                return out.value
+
+            parent.__name__ = f"parent-{tag}"
+            return parent
+
+        pa = k.spawn(make_parent("A", winner_a), name="pa")
+        pb = k.spawn(make_parent("B", winner_b), name="pb")
+        return rpid, pa, pb
+
+    @pytest.mark.parametrize(
+        "winner_a,winner_b,expected",
+        [
+            (True, True, ["A-talker", "B-talker"]),
+            (True, False, ["A-talker"]),
+            (False, True, ["B-talker"]),
+            (False, False, []),
+        ],
+    )
+    def test_four_way_split_exactly_one_survivor(self, winner_a, winner_b, expected):
+        k = K(trace=True)
+        rpid, pa, pb = self._two_blocks_one_receiver(k, winner_a, winner_b)
+        k.run()
+        assert k.result_of(rpid) == expected
+        done = [w for w in k.worlds_of(rpid) if w.state is ProcState.DONE]
+        assert len(done) == 1
+        # no live world references any resolved pid
+        for world in k.live_worlds():
+            assert not (world.predicates.all_pids() & set(k.facts))
+
+    def test_split_count_grows_with_speculative_messages(self):
+        k = K(trace=True)
+        self._two_blocks_one_receiver(k, True, True)
+        k.run()
+        # first message splits 1 world; the second splits the worlds that
+        # can still receive it
+        assert len(k.trace.of_kind("world-split")) >= 2
+
+
+class TestTransitiveSpeculation:
+    def test_receiver_of_a_receiver(self):
+        """B accepts a speculative message from an alternative, then
+        messages C: C inherits the speculation transitively and resolves
+        with the block."""
+        k = K(trace=True)
+
+        def charlie(ctx):
+            msg = yield ctx.recv(timeout=30.0)
+            return "c-timeout" if msg is TIMEOUT else msg.data
+
+        cpid = k.spawn(charlie, name="charlie")
+
+        def bob(ctx):
+            msg = yield ctx.recv(timeout=30.0)
+            if msg is TIMEOUT:
+                return "b-timeout"
+            yield ctx.send(cpid, f"relayed:{msg.data}")
+            return msg.data
+
+        bpid = k.spawn(bob, name="bob")
+
+        def parent(ctx):
+            def talker(c):
+                yield c.compute(0.1)
+                yield c.send(bpid, "origin")
+                yield c.compute(0.2)
+                return "talker"
+
+            def rival(c):
+                yield c.compute(5.0)
+                return "rival"
+
+            out = yield from ctx.run_alternatives([talker, rival])
+            return out.value
+
+        ppid = k.spawn(parent, name="parent")
+        k.run()
+        assert k.result_of(ppid) == "talker"
+        assert k.result_of(bpid) == "origin"
+        assert k.result_of(cpid) == "relayed:origin"
+
+    def test_transitive_speculation_pruned_on_failure(self):
+        """Same chain, but the talker loses: both B's and C's accepting
+        worlds die; the surviving worlds saw nothing."""
+        k = K(trace=True)
+
+        def charlie(ctx):
+            msg = yield ctx.recv(timeout=3.0)
+            return "c-timeout" if msg is TIMEOUT else msg.data
+
+        cpid = k.spawn(charlie, name="charlie")
+
+        def bob(ctx):
+            msg = yield ctx.recv(timeout=3.0)
+            if msg is TIMEOUT:
+                return "b-timeout"
+            yield ctx.send(cpid, f"relayed:{msg.data}")
+            return msg.data
+
+        bpid = k.spawn(bob, name="bob")
+
+        def parent(ctx):
+            def talker(c):
+                yield c.compute(0.1)
+                yield c.send(bpid, "doomed")
+                yield c.compute(50.0)
+                return "talker"
+
+            def rival(c):
+                yield c.compute(0.5)
+                return "rival"
+
+            out = yield from ctx.run_alternatives([talker, rival])
+            return out.value
+
+        ppid = k.spawn(parent, name="parent")
+        k.run()
+        assert k.result_of(ppid) == "rival"
+        assert k.result_of(bpid) == "b-timeout"
+        assert k.result_of(cpid) == "c-timeout"
+        # the relayed message never leaked into a surviving world
+        for world in k.worlds_of(cpid):
+            if world.state is ProcState.DONE:
+                assert world.result == "c-timeout"
+
+
+class TestSelfAndOrdering:
+    def test_send_to_self(self):
+        k = K()
+
+        def selfie(ctx):
+            me = yield ctx.getpid()
+            yield ctx.send(me, "note to self")
+            msg = yield ctx.recv()
+            return msg.data
+
+        pid = k.spawn(selfie)
+        k.run()
+        assert k.result_of(pid) == "note to self"
+
+    def test_fifo_preserved_across_ignored_messages(self):
+        """An IGNOREd head must not reorder the survivors."""
+        k = K()
+
+        def receiver(ctx):
+            got = []
+            for _ in range(2):
+                msg = yield ctx.recv(timeout=10.0)
+                if msg is not TIMEOUT:
+                    got.append(msg.data)
+            return got
+
+        rpid = k.spawn(receiver, name="recv")
+
+        def parent(ctx):
+            def loser(c):
+                yield c.send(rpid, "from-loser")  # will be pruned/ignored
+                yield c.compute(60.0)
+                return "loser"
+
+            def winner(c):
+                yield c.compute(0.2)
+                yield c.send(rpid, "w1")
+                yield c.send(rpid, "w2")
+                return "winner"
+
+            out = yield from ctx.run_alternatives([loser, winner])
+            return out.value
+
+        k.spawn(parent, name="parent")
+        k.run()
+        # surviving receiver world sees the winner's messages in order
+        assert k.result_of(rpid) == ["w1", "w2"]
+
+
+class TestUtilizationReport:
+    def test_waste_accounting(self):
+        from repro.core import Alternative, run_alternatives_sim
+
+        alternatives = [
+            Alternative(lambda ws: "fast", name="fast", sim_cost=1.0),
+            Alternative(lambda ws: "slow", name="slow", sim_cost=9.0),
+        ]
+        outcome, kernel = run_alternatives_sim(alternatives, cpus=2)
+        util = kernel.utilization_report()
+        # winner consumed ~1s useful; loser ~1s before elimination
+        assert util.useful_cpu_s == pytest.approx(1.0, rel=0.05)
+        assert util.wasted_cpu_s == pytest.approx(1.0, rel=0.1)
+        assert 0.3 < util.speculation_waste < 0.7
+        assert 0 < util.utilization <= 1.0
+
+    def test_no_waste_single_alternative(self):
+        from repro.core import Alternative, run_alternatives_sim
+
+        _, kernel = run_alternatives_sim(
+            [Alternative(lambda ws: 1, name="only", sim_cost=0.5)]
+        )
+        util = kernel.utilization_report()
+        assert util.wasted_cpu_s == 0.0
+        assert util.speculation_waste == 0.0

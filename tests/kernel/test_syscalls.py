@@ -1,0 +1,62 @@
+"""Unit tests for syscall value types."""
+
+import pytest
+
+from repro.analysis.overhead import OverheadBreakdown
+from repro.core.alternative import Alternative
+from repro.kernel import syscalls as sc
+
+
+class TestTimeoutSentinel:
+    def test_singleton_and_falsy(self):
+        assert sc.TIMEOUT is type(sc.TIMEOUT)()
+        assert not sc.TIMEOUT
+        assert repr(sc.TIMEOUT) == "TIMEOUT"
+
+
+class TestNormalizeAlternative:
+    def test_passthrough(self):
+        alt = Alternative(lambda ws: 1, name="x")
+        assert sc.normalize_alternative(alt, 0) is alt
+
+    def test_wraps_callable(self):
+        def my_fn(ws):
+            return 1
+
+        alt = sc.normalize_alternative(my_fn, 3)
+        assert isinstance(alt, Alternative)
+        assert alt.name == "my_fn"
+
+    def test_lambda_gets_positional_name(self):
+        alt = sc.normalize_alternative(lambda ws: 1, 2)
+        assert alt.name == "<lambda>"
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            sc.normalize_alternative(42, 0)
+
+
+class TestAltOutcome:
+    def test_time_properties(self):
+        out = sc.AltOutcome(
+            winner_index=0, winner_pid=1, value="v",
+            spawned_at=1.0, committed_at=3.0, parent_resumed_at=3.5,
+            overhead=OverheadBreakdown(completion_s=0.5),
+        )
+        assert out.elapsed_s == 2.0
+        assert out.response_s == 2.5
+        assert not out.failed
+
+    def test_failed_when_no_winner(self):
+        out = sc.AltOutcome(winner_index=None, winner_pid=None, value=None)
+        assert out.failed
+
+
+class TestSyscallImmutability:
+    def test_frozen_dataclasses(self):
+        op = sc.Compute(1.0)
+        with pytest.raises(AttributeError):
+            op.seconds = 2.0  # type: ignore[misc]
+        msg_op = sc.Send(3, "x")
+        with pytest.raises(AttributeError):
+            msg_op.dest = 4  # type: ignore[misc]

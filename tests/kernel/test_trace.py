@@ -1,0 +1,39 @@
+"""Tests for the kernel trace facility."""
+
+from repro.kernel.trace import Trace, TraceEvent
+
+
+def test_record_and_query():
+    trace = Trace()
+    trace.record(0.0, "spawn", 1, name="a")
+    trace.record(1.0, "commit", 2, group=1)
+    trace.record(2.0, "kill", 3, reason="x")
+    assert len(trace) == 3
+    assert [e.kind for e in trace.of_kind("commit", "kill")] == ["commit", "kill"]
+    assert trace.for_pid(2)[0].kind == "commit"
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(0.0, "spawn", 1)
+    assert len(trace) == 0
+
+
+def test_limit_caps_events():
+    trace = Trace(limit=2)
+    for i in range(5):
+        trace.record(float(i), "tick", i)
+    assert len(trace) == 2
+
+
+def test_render_and_str():
+    trace = Trace()
+    trace.record(1.5, "commit", 42, group=7)
+    text = trace.render()
+    assert "commit" in text and "42" in text and "group=7" in text
+
+
+def test_event_str_sorted_info():
+    event = TraceEvent(0.5, "deliver", 3, {"z": 1, "a": 2})
+    rendered = str(event)
+    assert rendered.index("a=2") < rendered.index("z=1")

@@ -1,0 +1,96 @@
+"""Unit tests for the byte-addressable AddressSpace layer."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.memory.address_space import AddressSpace
+from repro.memory.frame import FramePool
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(FramePool(page_size=32))
+
+
+def test_write_read_roundtrip_within_page(space):
+    space.write(4, b"hello")
+    assert space.read(4, 5) == b"hello"
+
+
+def test_write_read_spanning_pages(space):
+    data = bytes(range(100))
+    space.write(20, data)  # crosses several 32-byte pages
+    assert space.read(20, 100) == data
+
+
+def test_read_untouched_memory_is_zero(space):
+    assert space.read(1000, 16) == bytes(16)
+
+
+def test_partial_overlap_of_mapped_and_unmapped(space):
+    space.write(0, b"abcd")
+    assert space.read(0, 40) == b"abcd" + bytes(36)
+
+
+def test_negative_access_rejected(space):
+    with pytest.raises(AddressError):
+        space.read(-1, 4)
+    with pytest.raises(AddressError):
+        space.read(0, -4)
+
+
+def test_alloc_is_monotonic_and_aligned(space):
+    a = space.alloc(10)
+    b = space.alloc(10)
+    assert b >= a + 10
+    assert b % 8 == 0
+
+
+def test_alloc_pages_page_aligned(space):
+    space.alloc(5)
+    base = space.alloc_pages(2)
+    assert base % 32 == 0
+    assert space.brk == base + 64
+
+
+def test_u64_roundtrip(space):
+    addr = space.alloc(8)
+    space.write_u64(addr, 0xDEADBEEF01)
+    assert space.read_u64(addr) == 0xDEADBEEF01
+
+
+def test_fork_preserves_content_and_brk(space):
+    space.write(0, b"state")
+    space.alloc(100)
+    child = space.fork()
+    assert child.read(0, 5) == b"state"
+    assert child.brk == space.brk
+
+
+def test_fork_isolation_both_directions(space):
+    space.write(0, b"base")
+    child = space.fork()
+    child.write(0, b"kidz")
+    space.write(64, b"prnt")
+    assert space.read(0, 4) == b"base"
+    assert child.read(0, 4) == b"kidz"
+    assert child.read(64, 4) == bytes(4)
+
+
+def test_replace_with_adopts_child_pages_and_brk(space):
+    space.write(0, b"old")
+    child = space.fork()
+    child.write(0, b"new")
+    child.alloc(500)
+    child_brk = child.brk
+    space.replace_with(child)
+    assert space.read(0, 3) == b"new"
+    assert space.brk == child_brk
+
+
+def test_spanning_write_cow_faults_once_per_page(space):
+    data = bytes(64)
+    space.write(0, data)  # two pages
+    child = space.fork()
+    child.write(0, bytes([1]) * 64)
+    assert space.pool.stats.cow_faults == 2

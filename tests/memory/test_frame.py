@@ -1,0 +1,88 @@
+"""Unit tests for physical frames and the frame pool."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.memory.frame import FramePool
+from repro.memory.stats import MemoryStats
+
+
+def test_allocate_zero_filled():
+    pool = FramePool(page_size=64)
+    frame = pool.allocate()
+    assert len(frame) == 64
+    assert bytes(frame.data) == bytes(64)
+    assert frame.refcount == 1
+    assert not frame.shared
+
+
+def test_allocate_with_payload_pads_to_page_size():
+    pool = FramePool(page_size=16)
+    frame = pool.allocate(b"abc")
+    assert bytes(frame.data) == b"abc" + bytes(13)
+
+
+def test_allocate_oversized_payload_rejected():
+    pool = FramePool(page_size=8)
+    with pytest.raises(AddressError):
+        pool.allocate(b"123456789")
+
+
+def test_page_size_must_be_positive():
+    with pytest.raises(AddressError):
+        FramePool(page_size=0)
+
+
+def test_copy_is_independent_and_counted():
+    stats = MemoryStats()
+    pool = FramePool(page_size=32, stats=stats)
+    original = pool.allocate(b"hello")
+    clone = pool.copy(original)
+    clone.data[0:5] = b"HELLO"
+    assert bytes(original.data[:5]) == b"hello"
+    assert bytes(clone.data[:5]) == b"HELLO"
+    assert stats.pages_copied == 1
+    assert stats.bytes_copied == 32
+    assert clone.fid != original.fid
+
+
+def test_retain_release_lifecycle():
+    pool = FramePool(page_size=16)
+    frame = pool.allocate()
+    pool.retain(frame)
+    assert frame.shared
+    pool.release(frame)
+    assert not frame.shared
+    assert pool.live_frames == 1
+    pool.release(frame)
+    assert pool.live_frames == 0
+    assert pool.stats.frames_freed == 1
+
+
+def test_double_release_is_an_error():
+    pool = FramePool(page_size=16)
+    frame = pool.allocate()
+    pool.release(frame)
+    with pytest.raises(AddressError):
+        pool.release(frame)
+
+
+def test_stats_count_allocations():
+    stats = MemoryStats()
+    pool = FramePool(page_size=16, stats=stats)
+    for _ in range(5):
+        pool.allocate()
+    assert stats.frames_allocated == 5
+    assert pool.live_frames == 5
+
+
+def test_stats_snapshot_and_delta():
+    stats = MemoryStats()
+    pool = FramePool(page_size=16, stats=stats)
+    pool.allocate()
+    before = stats.snapshot()
+    pool.allocate()
+    pool.allocate()
+    diff = stats.delta(before)
+    assert diff.frames_allocated == 2
+    assert before.frames_allocated == 1

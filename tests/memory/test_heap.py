@@ -1,0 +1,88 @@
+"""Unit tests for the PagedHeap object store."""
+
+import pytest
+
+from repro.memory.frame import FramePool
+from repro.memory.heap import PagedHeap
+
+
+@pytest.fixture
+def heap():
+    return PagedHeap(pool=FramePool(page_size=128))
+
+
+def test_put_get_roundtrip(heap):
+    heap.put("x", [1, 2, 3])
+    heap.put("y", {"nested": (4.5, "six")})
+    assert heap.get("x") == [1, 2, 3]
+    assert heap.get("y") == {"nested": (4.5, "six")}
+
+
+def test_get_missing_key_raises(heap):
+    with pytest.raises(KeyError):
+        heap.get("absent")
+
+
+def test_overwrite_replaces_value(heap):
+    heap.put("k", "first")
+    heap.put("k", "second")
+    assert heap.get("k") == "second"
+    assert len(heap) == 1
+
+
+def test_delete(heap):
+    heap.put("k", 1)
+    heap.delete("k")
+    assert "k" not in heap
+    with pytest.raises(KeyError):
+        heap.delete("k")
+
+
+def test_keys_sorted_and_items(heap):
+    heap.update({"b": 2, "a": 1, "c": 3})
+    assert heap.keys() == ["a", "b", "c"]
+    assert dict(heap.items()) == {"a": 1, "b": 2, "c": 3}
+    assert heap.as_dict() == {"a": 1, "b": 2, "c": 3}
+
+
+def test_free_list_reuses_space(heap):
+    heap.put("big", b"x" * 100)
+    brk_after = heap.space.brk
+    heap.delete("big")
+    heap.put("big2", b"y" * 50)
+    assert heap.space.brk == brk_after  # reused the freed extent
+
+
+def test_fork_isolation(heap):
+    heap.put("shared", "base")
+    child = heap.fork()
+    child.put("shared", "child-version")
+    child.put("new", 42)
+    assert heap.get("shared") == "base"
+    assert "new" not in heap
+    assert child.get("shared") == "child-version"
+
+
+def test_fork_shares_pages_until_write(heap):
+    heap.put("v", b"z" * 300)
+    before = heap.space.pool.stats.snapshot()
+    child = heap.fork()
+    assert heap.space.pool.stats.delta(before).pages_copied == 0
+    assert child.get("v") == b"z" * 300
+
+
+def test_replace_with_commits_winner(heap):
+    heap.put("result", None)
+    child = heap.fork()
+    child.put("result", "computed")
+    heap.replace_with(child)
+    assert heap.get("result") == "computed"
+
+
+def test_write_fraction_small_update_touches_few_pages(heap):
+    for i in range(20):
+        heap.put(f"key{i}", bytes(100))
+    child = heap.fork()
+    child.put("key3", bytes(100))
+    report = child.write_fraction()
+    assert 0 < report.fraction < 0.5

@@ -1,0 +1,216 @@
+"""Unit tests for COW page tables: fork, fault accounting, commit."""
+
+import pytest
+
+from repro.errors import AddressError, PageFault
+from repro.memory.frame import FramePool
+from repro.memory.pagetable import PageTable
+
+
+@pytest.fixture
+def pool():
+    return FramePool(page_size=64)
+
+
+def test_read_unmapped_page_faults(pool):
+    table = PageTable(pool)
+    with pytest.raises(PageFault):
+        table.read(3)
+
+
+def test_map_new_and_read(pool):
+    table = PageTable(pool)
+    table.map_new(0, b"hello")
+    assert table.read(0).startswith(b"hello")
+    assert len(table.read(0)) == 64
+
+
+def test_double_map_rejected(pool):
+    table = PageTable(pool)
+    table.map_new(1)
+    with pytest.raises(AddressError):
+        table.map_new(1)
+
+
+def test_negative_vpn_rejected(pool):
+    table = PageTable(pool)
+    with pytest.raises(AddressError):
+        table.map_new(-1)
+
+
+def test_write_demand_zero_maps(pool):
+    table = PageTable(pool)
+    table.write(7, b"xy", offset=10)
+    page = table.read(7)
+    assert page[10:12] == b"xy"
+    assert page[:10] == bytes(10)
+
+
+def test_write_out_of_page_bounds_rejected(pool):
+    table = PageTable(pool)
+    with pytest.raises(AddressError):
+        table.write(0, b"a" * 65)
+    with pytest.raises(AddressError):
+        table.write(0, b"abc", offset=63)
+
+
+def test_fork_shares_frames_without_copying(pool):
+    parent = PageTable(pool)
+    for vpn in range(4):
+        parent.map_new(vpn, bytes([vpn]) * 8)
+    before = pool.stats.snapshot()
+    child = parent.fork()
+    diff = pool.stats.delta(before)
+    assert diff.pages_copied == 0
+    assert diff.pte_copies == 4
+    assert diff.forks == 1
+    for vpn in range(4):
+        assert child.read(vpn) == parent.read(vpn)
+        assert child.frame_of(vpn) is parent.frame_of(vpn)
+
+
+def test_cow_write_isolates_child_from_parent(pool):
+    parent = PageTable(pool)
+    parent.map_new(0, b"original")
+    child = parent.fork()
+    child.write(0, b"CHANGED!")
+    assert parent.read(0).startswith(b"original")
+    assert child.read(0).startswith(b"CHANGED!")
+    assert pool.stats.cow_faults == 1
+
+
+def test_cow_write_isolates_parent_from_child(pool):
+    parent = PageTable(pool)
+    parent.map_new(0, b"original")
+    child = parent.fork()
+    parent.write(0, b"PARENTWR")
+    assert child.read(0).startswith(b"original")
+    assert parent.read(0).startswith(b"PARENTWR")
+
+
+def test_second_write_to_private_page_is_free(pool):
+    parent = PageTable(pool)
+    parent.map_new(0, b"data")
+    child = parent.fork()
+    child.write(0, b"one")
+    faults_after_first = pool.stats.cow_faults
+    child.write(0, b"two")
+    assert pool.stats.cow_faults == faults_after_first
+
+
+def test_write_fraction_tracks_distinct_privatized_pages(pool):
+    parent = PageTable(pool)
+    for vpn in range(10):
+        parent.map_new(vpn)
+    child = parent.fork()
+    child.write(2, b"x")
+    child.write(2, b"y")
+    child.write(7, b"z")
+    report = child.write_fraction()
+    assert report.pages_inherited == 10
+    assert report.pages_written == 2
+    assert report.fraction == pytest.approx(0.2)
+
+
+def test_write_fraction_counts_created_pages_separately(pool):
+    parent = PageTable(pool)
+    parent.map_new(0)
+    child = parent.fork()
+    child.write(100, b"fresh")
+    report = child.write_fraction()
+    assert report.pages_written == 0
+    assert report.pages_created == 1
+
+
+def test_replace_with_commits_winner_state_atomically(pool):
+    parent = PageTable(pool)
+    parent.map_new(0, b"parent-page-0")
+    parent.map_new(1, b"parent-page-1")
+    child = parent.fork()
+    child.write(0, b"child-page-00")
+    child.write(5, b"child-new-pg5")
+    expected = child.content_dict()
+    parent.replace_with(child)
+    assert parent.content_dict() == expected
+    assert child.released
+
+
+def test_replace_with_frees_parent_frames(pool):
+    parent = PageTable(pool)
+    parent.map_new(0, b"a")
+    child = parent.fork()
+    child.write(0, b"b")  # both now hold private frames
+    live_before = pool.live_frames
+    parent.replace_with(child)
+    assert pool.live_frames == live_before - 1
+
+
+def test_replace_with_cross_pool_rejected(pool):
+    other_pool = FramePool(page_size=64)
+    a = PageTable(pool)
+    b = PageTable(other_pool)
+    with pytest.raises(AddressError):
+        a.replace_with(b)
+
+
+def test_release_frees_all_frames(pool):
+    table = PageTable(pool)
+    for vpn in range(3):
+        table.map_new(vpn)
+    table.release()
+    assert pool.live_frames == 0
+    with pytest.raises(AddressError):
+        table.read(0)
+
+
+def test_release_is_idempotent(pool):
+    table = PageTable(pool)
+    table.map_new(0)
+    table.release()
+    table.release()
+    assert pool.live_frames == 0
+
+
+def test_sibling_elimination_releases_only_private_copies(pool):
+    parent = PageTable(pool)
+    for vpn in range(5):
+        parent.map_new(vpn)
+    children = [parent.fork() for _ in range(3)]
+    children[0].write(0, b"w")
+    live_before = pool.live_frames
+    children[0].release()
+    # only the loser's single private page goes away; shared frames survive
+    assert pool.live_frames == live_before - 1
+    assert parent.read(0) == bytes(64)
+
+
+def test_unmap_single_page(pool):
+    table = PageTable(pool)
+    table.map_new(0)
+    table.map_new(1)
+    table.unmap(0)
+    assert 0 not in table
+    assert 1 in table
+    with pytest.raises(PageFault):
+        table.read(0)
+
+
+def test_same_content_detects_divergence(pool):
+    a = PageTable(pool)
+    a.map_new(0, b"same")
+    b = a.fork()
+    assert a.same_content(b)
+    b.write(0, b"diff")
+    assert not a.same_content(b)
+
+
+def test_resident_bytes_splits_shared_frames(pool):
+    parent = PageTable(pool)
+    parent.map_new(0)
+    parent.map_new(1)
+    child = parent.fork()
+    # two tables share two 64-byte frames -> 64 bytes charged to each
+    assert parent.resident_bytes() == 64
+    assert child.resident_bytes() == 64
+    child.write(0, b"x")
+    assert child.resident_bytes() == 64 + 32

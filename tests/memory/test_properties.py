@@ -1,0 +1,111 @@
+"""Property-based tests for the COW memory invariants (DESIGN.md section 5).
+
+- After fork, parent and child read identical content.
+- A write in one table is never visible in the other.
+- Frames are never copied unless written (copy count <= distinct pages
+  written across all tables).
+- replace_with makes the parent's content exactly the winner's.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.frame import FramePool
+from repro.memory.heap import PagedHeap
+
+PAGE = 32
+
+write_op = st.tuples(
+    st.sampled_from(["parent", "child"]),
+    st.integers(min_value=0, max_value=8 * PAGE - 1),
+    st.binary(min_size=1, max_size=PAGE),
+)
+
+
+@given(initial=st.binary(min_size=0, max_size=4 * PAGE), ops=st.lists(write_op, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_cow_isolation_matches_plain_copies(initial, ops):
+    """The COW pair behaves exactly like two independent byte arrays."""
+    space = AddressSpace(FramePool(page_size=PAGE))
+    space.write(0, initial)
+    child = space.fork()
+
+    size = 16 * PAGE
+    model_parent = bytearray(size)
+    model_parent[: len(initial)] = initial
+    model_child = bytearray(model_parent)
+
+    for who, addr, data in ops:
+        target = space if who == "parent" else child
+        model = model_parent if who == "parent" else model_child
+        target.write(addr, data)
+        model[addr : addr + len(data)] = data
+
+    assert space.read(0, size) == bytes(model_parent)
+    assert child.read(0, size) == bytes(model_child)
+
+
+@given(
+    initial=st.binary(min_size=1, max_size=6 * PAGE),
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6 * PAGE - 1),
+            st.binary(min_size=1, max_size=PAGE // 2),
+        ),
+        max_size=15,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_pages_copied_bounded_by_pages_written(initial, writes):
+    """COW never copies a page nobody wrote."""
+    pool = FramePool(page_size=PAGE)
+    space = AddressSpace(pool)
+    space.write(0, initial)
+    child = space.fork()
+    before = pool.stats.snapshot()
+
+    touched_pages = set()
+    for addr, data in writes:
+        child.write(addr, data)
+        first = addr // PAGE
+        last = (addr + len(data) - 1) // PAGE
+        touched_pages.update(range(first, last + 1))
+
+    copied = pool.stats.delta(before).pages_copied
+    assert copied <= len(touched_pages)
+
+
+@given(
+    base=st.dictionaries(st.text(min_size=1, max_size=5), st.integers(), max_size=8),
+    child_updates=st.dictionaries(st.text(min_size=1, max_size=5), st.integers(), max_size=8),
+)
+@settings(max_examples=150, deadline=None)
+def test_commit_atomicity(base, child_updates):
+    """After replace_with, the parent heap equals the child heap exactly."""
+    heap = PagedHeap(pool=FramePool(page_size=PAGE))
+    heap.update(base)
+    child = heap.fork()
+    child.update(child_updates)
+    expected = dict(base)
+    expected.update(child_updates)
+    heap.replace_with(child)
+    assert heap.as_dict() == expected
+
+
+@given(
+    values=st.lists(st.binary(min_size=0, max_size=3 * PAGE), min_size=1, max_size=10)
+)
+@settings(max_examples=100, deadline=None)
+def test_heap_fork_then_release_leaks_nothing(values):
+    """Eliminating a speculative child frees exactly its private frames."""
+    pool = FramePool(page_size=PAGE)
+    heap = PagedHeap(pool=pool)
+    for i, v in enumerate(values):
+        heap.put(f"k{i}", v)
+    live_before_fork = pool.live_frames
+    child = heap.fork()
+    child.put("k0", b"rewrite" * 10)
+    child.release()
+    assert pool.live_frames == live_before_fork
+    assert heap.get("k0") == values[0]

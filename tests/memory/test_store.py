@@ -1,0 +1,108 @@
+"""Unit tests for the single-level store (files as named page sets)."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.memory.address_space import AddressSpace
+from repro.memory.frame import FramePool
+from repro.memory.store import SingleLevelStore
+
+
+@pytest.fixture
+def store():
+    return SingleLevelStore(page_size=64)
+
+
+def test_write_read_roundtrip(store):
+    store.write_file("f", b"some file data")
+    assert store.read_file("f") == b"some file data"
+
+
+def test_multi_page_file(store):
+    data = bytes(range(256)) * 2  # 512 bytes, 8 pages of 64
+    store.write_file("big", data)
+    assert store.stat("big").pages == 8
+    assert store.read_file("big") == data
+
+
+def test_empty_file(store):
+    store.write_file("empty", b"")
+    assert store.read_file("empty") == b""
+    assert store.stat("empty").pages == 0
+
+
+def test_missing_file_raises(store):
+    with pytest.raises(FileSystemError):
+        store.read_file("nope")
+
+
+def test_delete_releases_pages(store):
+    store.write_file("f", b"x" * 200)
+    live = store.pool.live_frames
+    store.delete("f")
+    assert store.pool.live_frames == live - 4
+    assert not store.exists("f")
+
+
+def test_overwrite_replaces_content(store):
+    store.write_file("f", b"old" * 50)
+    store.write_file("f", b"new")
+    assert store.read_file("f") == b"new"
+
+
+def test_append(store):
+    store.write_file("log", b"line1\n")
+    store.append("log", b"line2\n")
+    assert store.read_file("log") == b"line1\nline2\n"
+
+
+def test_append_to_missing_creates(store):
+    store.append("fresh", b"data")
+    assert store.read_file("fresh") == b"data"
+
+
+def test_names_sorted(store):
+    store.write_file("b", b"")
+    store.write_file("a", b"")
+    assert store.names() == ["a", "b"]
+
+
+def test_map_into_reads_file_pages(store):
+    data = b"mapped-file-content-" * 10
+    store.write_file("f", data)
+    space = AddressSpace(store.pool)
+    base = store.map_into(space, "f")
+    assert space.read(base, len(data)) == data
+
+
+def test_map_into_is_private_cow(store):
+    data = b"A" * 128
+    store.write_file("f", data)
+    space = AddressSpace(store.pool)
+    base = store.map_into(space, "f")
+    space.write(base, b"Z" * 10)
+    assert store.read_file("f") == data  # file untouched
+    assert space.read(base, 10) == b"Z" * 10
+
+
+def test_map_into_foreign_pool_rejected(store):
+    store.write_file("f", b"data")
+    foreign = AddressSpace(FramePool(page_size=64))
+    with pytest.raises(FileSystemError):
+        store.map_into(foreign, "f")
+
+
+def test_sync_back_commits_mapping(store):
+    store.write_file("f", b"before--" * 8)
+    space = AddressSpace(store.pool)
+    base = store.map_into(space, "f")
+    space.write(base, b"AFTER")
+    store.sync_back(space, "f", base)
+    assert store.read_file("f").startswith(b"AFTER")
+    assert len(store.read_file("f")) == 64
+
+
+def test_total_pages(store):
+    store.write_file("a", b"x" * 64)
+    store.write_file("b", b"x" * 65)
+    assert store.total_pages() == 3

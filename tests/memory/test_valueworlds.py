@@ -1,0 +1,153 @@
+"""Tests for the value-granularity worlds (Wilson §5 comparator)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorldsError
+from repro.memory.valueworlds import VersionedStore
+
+
+@pytest.fixture
+def store():
+    return VersionedStore({"a": 1, "b": 2})
+
+
+class TestBasics:
+    def test_root_world_reads_base(self, store):
+        w = store.root_world()
+        assert w.get("a") == 1
+        assert w.get("missing", "dflt") == "dflt"
+
+    def test_writes_invisible_until_commit(self, store):
+        w = store.root_world()
+        w.put("a", 99)
+        assert store.base_snapshot()["a"] == 1
+        w.commit()
+        assert store.base_snapshot()["a"] == 99
+
+    def test_discard_leaves_no_trace(self, store):
+        w = store.root_world()
+        w.put("a", 99)
+        w.put("new", 5)
+        w.discard()
+        assert store.base_snapshot() == {"a": 1, "b": 2}
+
+    def test_delete_layers(self, store):
+        w = store.root_world()
+        w.delete("a")
+        assert "a" not in w
+        assert w.keys() == ["b"]
+        w.commit()
+        assert store.base_snapshot() == {"b": 2}
+
+    def test_closed_world_rejected(self, store):
+        w = store.root_world()
+        w.commit()
+        with pytest.raises(WorldsError):
+            w.get("a")
+
+
+class TestNesting:
+    def test_child_sees_parent_delta(self, store):
+        parent = store.root_world()
+        parent.put("a", 10)
+        child = parent.fork()
+        assert child.get("a") == 10
+        assert child.get("b") == 2
+
+    def test_sibling_isolation(self, store):
+        parent = store.root_world()
+        left, right = parent.fork(), parent.fork()
+        left.put("a", "L")
+        right.put("a", "R")
+        assert left.get("a") == "L"
+        assert right.get("a") == "R"
+        assert parent.get("a") == 1
+
+    def test_child_commit_folds_into_parent_only(self, store):
+        parent = store.root_world()
+        child = parent.fork()
+        child.put("x", 1)
+        child.delete("b")
+        child.commit()
+        assert parent.get("x") == 1
+        assert "b" not in parent
+        assert store.base_snapshot() == {"a": 1, "b": 2}  # base untouched
+
+    def test_two_level_commit_chain(self, store):
+        root = store.root_world()
+        inner = root.fork()
+        inner.put("v", "deep")
+        inner.commit()
+        root.commit()
+        assert store.base_snapshot()["v"] == "deep"
+
+    def test_delete_then_rewrite_across_levels(self, store):
+        root = store.root_world()
+        root.delete("a")
+        child = root.fork()
+        assert "a" not in child
+        child.put("a", 7)
+        assert child.get("a") == 7
+        child.commit()
+        assert root.get("a") == 7
+
+
+class TestInstrumentation:
+    def test_every_reference_pays_a_check(self, store):
+        w = store.root_world()
+        before = store.stats.ref_checks
+        w.get("a")
+        w.get("b")
+        assert store.stats.ref_checks > before
+
+    def test_deep_chains_cost_more_per_read(self, store):
+        w = store.root_world()
+        for _ in range(5):
+            w = w.fork()
+        before = store.stats.ref_checks
+        w.get("a")  # must walk 6 worlds + base
+        assert store.stats.ref_checks - before >= 6
+
+    def test_copies_counted_once_per_object(self, store):
+        w = store.root_world()
+        w.put("a", [1, 2, 3])
+        w.put("a", [4, 5, 6])  # rewrite: no new copy
+        assert store.stats.object_copies == 1
+        assert store.stats.bytes_copied > 0
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(0, 9),
+        ),
+        max_size=12,
+    ),
+    commit=st.booleans(),
+)
+@settings(max_examples=200, deadline=None)
+def test_world_matches_plain_dict_model(ops, commit):
+    """A single world behaves exactly like a dict copy; commit publishes
+    it, discard reverts everything."""
+    base = {"a": 1, "b": 2}
+    store = VersionedStore(base)
+    world = store.root_world()
+    model = dict(base)
+    for kind, key, value in ops:
+        if kind == "put":
+            world.put(key, value)
+            model[key] = value
+        else:
+            world.delete(key)
+            model.pop(key, None)
+    assert world.as_dict() == model
+    if commit:
+        world.commit()
+        assert store.base_snapshot() == model
+    else:
+        world.discard()
+        assert store.base_snapshot() == base

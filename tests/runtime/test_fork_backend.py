@@ -1,0 +1,224 @@
+"""Tests for the os.fork execution backend (real COW worlds)."""
+
+import os
+import time
+
+import pytest
+
+from repro.core.alternative import Alternative, Guard, GuardPlacement
+from repro.core.policy import EliminationPolicy
+from repro.core.worlds import run_alternatives
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+
+
+def _sleep_then(seconds, label):
+    def alt(ws):
+        time.sleep(seconds)
+        ws["winner"] = label
+        return label
+
+    alt.__name__ = label
+    return alt
+
+
+def test_fastest_alternative_wins():
+    out = run_alternatives(
+        [_sleep_then(0.5, "slow"), _sleep_then(0.02, "fast")],
+        backend="fork",
+    )
+    assert out.value == "fast"
+    assert out.winner.index == 1
+    assert out.extras["state"]["winner"] == "fast"
+
+
+def test_response_time_tracks_best_not_mean():
+    t0 = time.perf_counter()
+    out = run_alternatives(
+        [_sleep_then(0.05, "fast"), _sleep_then(1.0, "slow")],
+        backend="fork",
+    )
+    wall = time.perf_counter() - t0
+    assert out.value == "fast"
+    assert wall < 0.6  # far below the 1.0s loser and the 0.52s mean
+
+
+def test_workspace_isolation_loser_writes_discarded():
+    def fast(ws):
+        ws["x"] = "fast-wrote"
+        return "fast"
+
+    def slow(ws):
+        ws["x"] = "slow-wrote"
+        ws["slow-only"] = True
+        time.sleep(0.8)
+        return "slow"
+
+    out = run_alternatives([fast, slow], initial={"x": "orig"}, backend="fork")
+    assert out.extras["state"]["x"] == "fast-wrote"
+    assert "slow-only" not in out.extras["state"]
+
+
+def test_all_fail_selects_failure():
+    def bad1(ws):
+        raise ValueError("nope")
+
+    def bad2(ws):
+        raise RuntimeError("also nope")
+
+    out = run_alternatives([bad1, bad2], backend="fork")
+    assert out.failed
+    assert not out.timed_out
+    assert len(out.losers) == 2
+
+
+def test_one_failure_tolerated():
+    def bad(ws):
+        raise ValueError("nope")
+
+    out = run_alternatives([bad, _sleep_then(0.02, "good")], backend="fork")
+    assert out.value == "good"
+
+
+def test_timeout_kills_stragglers():
+    t0 = time.perf_counter()
+    out = run_alternatives([_sleep_then(30.0, "never")], timeout=0.3, backend="fork")
+    wall = time.perf_counter() - t0
+    assert out.timed_out and out.failed
+    assert wall < 2.0
+
+
+def test_crashing_child_counts_as_failed():
+    def crasher(ws):
+        os._exit(7)  # dies without reporting
+
+    out = run_alternatives([crasher, _sleep_then(0.05, "ok")], backend="fork")
+    assert out.value == "ok"
+    errors = [l.error for l in out.losers]
+    assert any("without reporting" in (e or "") for e in errors)
+
+
+def test_guard_entry_in_child():
+    guarded = Alternative(
+        _sleep_then(0.01, "guarded"),
+        guard=Guard(name="no", check=lambda ws: False),
+    )
+    out = run_alternatives([guarded, _sleep_then(0.1, "ok")], backend="fork")
+    assert out.value == "ok"
+    assert any(l.guard_failed for l in out.losers)
+
+
+def test_guard_before_spawn_skips_fork():
+    guarded = Alternative(
+        _sleep_then(0.01, "guarded"),
+        guard=Guard(check=lambda ws: False, placement=GuardPlacement.BEFORE_SPAWN),
+    )
+    out = run_alternatives([guarded, _sleep_then(0.05, "ok")], backend="fork")
+    assert out.value == "ok"
+    rejected = [l for l in out.losers if l.guard_failed]
+    assert rejected and rejected[0].error == "guard rejected before spawn"
+
+
+def test_guard_at_sync_rechecked_in_parent():
+    tricky = Alternative(
+        _sleep_then(0.01, "tricky"),
+        guard=Guard(
+            accept=lambda ws, v: v != "tricky",
+            placement=GuardPlacement.AT_SYNC,
+        ),
+    )
+    out = run_alternatives([tricky, _sleep_then(0.2, "honest")], backend="fork")
+    assert out.value == "honest"
+
+
+def test_sync_vs_async_elimination_latency():
+    alts = [_sleep_then(0.02, "fast")] + [_sleep_then(5.0, f"s{i}") for i in range(8)]
+    out_async = run_alternatives(
+        alts, backend="fork", elimination=EliminationPolicy.ASYNCHRONOUS
+    )
+    out_sync = run_alternatives(
+        alts, backend="fork", elimination=EliminationPolicy.SYNCHRONOUS
+    )
+    assert out_async.value == "fast" and out_sync.value == "fast"
+    assert out_async.extras["eliminated"] == 8
+    # both should finish fast; async completion accounting is never slower
+    # than sync on the same machine by more than noise
+    assert out_async.overhead.completion_s <= out_sync.overhead.completion_s + 0.05
+
+
+def test_large_state_roundtrip():
+    def producer(ws):
+        ws["blob"] = bytes(2_000_000)
+        return len(ws["blob"])
+
+    out = run_alternatives([producer], backend="fork")
+    assert out.value == 2_000_000
+    assert len(out.extras["state"]["blob"]) == 2_000_000
+
+
+def test_no_zombies_left_behind():
+    """Every child is reaped, under both elimination policies."""
+    for policy in (EliminationPolicy.SYNCHRONOUS, EliminationPolicy.ASYNCHRONOUS):
+        run_alternatives(
+            [_sleep_then(0.01, "fast")] + [_sleep_then(5.0, f"s{i}") for i in range(3)],
+            backend="fork",
+            elimination=policy,
+        )
+        with pytest.raises(ChildProcessError):
+            os.waitpid(-1, os.WNOHANG)  # no children of ours remain
+
+
+def test_start_delay_staggers_real_children():
+    from repro.core.alternative import Alternative
+
+    primary = Alternative(_sleep_then(0.02, "primary"), name="primary")
+    spare = Alternative(
+        _sleep_then(0.0, "spare"), name="spare", start_delay=5.0
+    )
+    t0 = time.perf_counter()
+    out = run_alternatives([primary, spare], backend="fork")
+    wall = time.perf_counter() - t0
+    # the staggered spare never got a chance; the primary won quickly
+    assert out.value == "primary"
+    assert wall < 2.0
+
+
+def test_unpicklable_workspace_entries_dropped_not_fatal():
+    def solver(ws):
+        ws["answer"] = 42
+        return "solved"
+
+    out = run_alternatives(
+        [solver], initial={"f": lambda x: x, "n": 5}, backend="fork"
+    )
+    assert out.value == "solved"
+    state = out.extras["state"]
+    assert state["answer"] == 42 and state["n"] == 5
+    assert state["_unpicklable"] == ["f"]
+
+
+def test_unpicklable_result_is_a_clean_failure():
+    def bad(ws):
+        return lambda: None
+
+    out = run_alternatives([bad], backend="fork")
+    assert out.failed
+    assert "not picklable" in out.losers[0].error
+
+
+def test_genuine_parallelism_across_cpus():
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("needs >= 2 CPUs")
+
+    def busy(ws):
+        deadline = time.perf_counter() + 0.4
+        x = 0
+        while time.perf_counter() < deadline:
+            x += 1
+        return x
+
+    t0 = time.perf_counter()
+    out = run_alternatives([busy, busy], backend="fork")
+    wall = time.perf_counter() - t0
+    assert out.winner is not None
+    assert wall < 0.75  # two 0.4s busy loops ran concurrently

@@ -1,0 +1,75 @@
+"""Tests for the thread execution backend."""
+
+import time
+
+from repro.core.alternative import Alternative, Guard
+from repro.core.worlds import run_alternatives
+
+
+def _sleep_then(seconds, label):
+    def alt(ws):
+        time.sleep(seconds)
+        ws["winner"] = label
+        return label
+
+    alt.__name__ = label
+    return alt
+
+
+def test_fastest_wins():
+    out = run_alternatives(
+        [_sleep_then(0.5, "slow"), _sleep_then(0.02, "fast")], backend="thread"
+    )
+    assert out.value == "fast"
+    assert out.extras["state"]["winner"] == "fast"
+
+
+def test_workspace_deep_copied():
+    def mutator(ws):
+        ws["shared"].append("mutated")
+        return "m"
+
+    initial = {"shared": ["orig"]}
+    out = run_alternatives([mutator], initial=initial, backend="thread")
+    assert out.extras["state"]["shared"] == ["orig", "mutated"]
+    assert initial["shared"] == ["orig"]  # caller's dict untouched
+
+
+def test_all_fail():
+    def bad(ws):
+        raise ValueError("x")
+
+    out = run_alternatives([bad, bad], backend="thread")
+    assert out.failed
+
+
+def test_timeout():
+    out = run_alternatives([_sleep_then(10.0, "never")], timeout=0.1, backend="thread")
+    assert out.timed_out
+    assert out.extras["uncollected"] == 0 or out.failed
+
+
+def test_losers_uncollected_not_killed():
+    out = run_alternatives(
+        [_sleep_then(0.02, "fast"), _sleep_then(0.5, "slow")], backend="thread"
+    )
+    assert out.value == "fast"
+    assert out.extras["uncollected"] == 1  # slow is still running, ignored
+
+
+def test_start_delay_on_threads():
+    from repro.core.alternative import Alternative
+
+    delayed = Alternative(_sleep_then(0.0, "delayed"), name="delayed",
+                          start_delay=0.3)
+    quick = Alternative(_sleep_then(0.02, "quick"), name="quick")
+    out = run_alternatives([delayed, quick], backend="thread")
+    assert out.value == "quick"
+
+
+def test_guard_rejection():
+    guarded = Alternative(
+        _sleep_then(0.01, "guarded"), guard=Guard(check=lambda ws: False)
+    )
+    out = run_alternatives([guarded, _sleep_then(0.05, "ok")], backend="thread")
+    assert out.value == "ok"
