@@ -35,6 +35,9 @@ Packages:
   machine calibrations.
 - :mod:`repro.apps` — recovery blocks, OR-parallel Prolog, polyalgorithms
   and the Jenkins-Traub parallel rootfinder.
+- :mod:`repro.faults` — deterministic fault injection (``FaultPlan``) and
+  supervised execution (``Supervisor``: retry spares, watchdog
+  escalation, backend degradation).
 """
 
 from repro.core import (
@@ -51,6 +54,7 @@ from repro.core import (
     run_alternatives_sim,
 )
 from repro.kernel import Kernel
+from repro.faults import FaultKind, FaultPlan, Supervisor, run_supervised
 from repro.analysis import (
     ATT_3B2_310,
     HP_9000_350,
@@ -74,7 +78,11 @@ __all__ = [
     "Kernel",
     "run_alternatives",
     "run_alternatives_sim",
+    "run_supervised",
     "first_of",
+    "FaultKind",
+    "FaultPlan",
+    "Supervisor",
     "MachineProfile",
     "PerformanceModel",
     "performance_improvement",

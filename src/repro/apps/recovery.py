@@ -181,6 +181,62 @@ class RecoveryBlock:
             outcome=outcome,
         )
 
+    # -- supervised execution -------------------------------------------------
+    def run_supervised(
+        self,
+        state: dict,
+        backend: str = "fork",
+        timeout: float | None = None,
+        stagger_s: float = 0.0,
+        supervisor: "Supervisor | None" = None,
+        fault_plan=None,
+        **kwargs: Any,
+    ) -> RecoveryResult:
+        """Race the alternates under a :class:`~repro.faults.Supervisor`.
+
+        The supervised form is what §4.1's "special modifications ...
+        for fault-tolerant applications" become in this codebase: the
+        acceptance test is still the guard and the alternates still
+        race, but crashed or hung alternates are respawned as fresh
+        staggered spares (bounded retries), hangs are escalated by the
+        fork watchdog, and a failing spawn degrades the whole block down
+        the backend chain instead of failing it. ``fault_plan`` drives
+        deterministic fault injection for tests and benches.
+        """
+        from repro.faults.supervisor import Supervisor  # local: avoid cycle
+
+        sup = supervisor or Supervisor(
+            spare_stagger_s=stagger_s, fault_plan=fault_plan
+        )
+        t0 = time.perf_counter()
+        outcome = sup.run(
+            self.as_alternatives(None, stagger_s),
+            initial=dict(state),
+            timeout=timeout,
+            backend=backend,
+            **kwargs,
+        )
+        elapsed = time.perf_counter() - t0
+        attempts = [
+            name
+            for entry in outcome.extras.get("supervisor", {}).get("history", [])
+            for name, _ in entry["losers"]
+        ]
+        if outcome.failed:
+            return RecoveryResult(
+                value=None, alternate="", elapsed_s=elapsed,
+                state=dict(state), outcome=outcome,
+                attempts=attempts or [l.name for l in outcome.losers],
+            )
+        return RecoveryResult(
+            value=outcome.value,
+            alternate=outcome.winner.name,
+            attempts=attempts + [outcome.winner.name],
+            elapsed_s=elapsed,
+            state=outcome.extras.get("state", {}),
+            outcome=outcome,
+        )
+
 
 def flaky(fn: Alternate, failures_before_success: int, name: str | None = None) -> Alternate:
     """Fault injection: raise for the first N calls, then behave.

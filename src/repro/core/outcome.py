@@ -68,6 +68,22 @@ class BlockOutcome:
             return FAILURE
         return self.winner.value
 
+    @property
+    def degraded(self) -> bool:
+        """True when a supervisor fell back to a weaker backend."""
+        return bool(self.extras.get("degraded"))
+
+    @property
+    def attempts(self) -> int:
+        """How many supervised attempts this outcome took (1 if unsupervised)."""
+        sup = self.extras.get("supervisor")
+        return int(sup["attempts"]) if sup else 1
+
+    @property
+    def watchdog_events(self) -> list:
+        """Escalation events (SIGTERM/SIGKILL) the fork watchdog recorded."""
+        return list(self.extras.get("watchdog", ()))
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         who = self.winner.name if self.winner else "FAILURE"
         return f"BlockOutcome(winner={who}, elapsed={self.elapsed_s:.6f}s)"

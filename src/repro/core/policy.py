@@ -26,6 +26,33 @@ class EliminationPolicy(enum.Enum):
 
 
 @dataclass(frozen=True)
+class WatchdogPolicy:
+    """Per-alternative hang escalation for the fork backend.
+
+    A child that has neither reported nor died ``soft_deadline_s``
+    seconds after its (stagger-adjusted) start is presumed hung and is
+    escalated: SIGTERM first, giving it ``term_grace_s`` seconds to
+    clean up or report, then SIGKILL. This replaces the block-level
+    "bare SIGKILL on timeout" as the only defence against hangs — a
+    well-behaved alternative gets a chance to release resources or ship
+    a partial report before it is destroyed.
+    """
+
+    soft_deadline_s: float
+    term_grace_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.soft_deadline_s <= 0:
+            raise ValueError(f"soft_deadline_s must be positive, got {self.soft_deadline_s}")
+        if self.term_grace_s < 0:
+            raise ValueError(f"term_grace_s must be non-negative, got {self.term_grace_s}")
+
+    def deadline_for(self, start_delay: float) -> float:
+        """Seconds after block start when this alternative is presumed hung."""
+        return start_delay + self.soft_deadline_s
+
+
+@dataclass(frozen=True)
 class TimeoutPolicy:
     """The parent's alt_wait TIMEOUT handling.
 

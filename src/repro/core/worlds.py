@@ -86,16 +86,18 @@ def run_alternatives_sim(
     cpus: int | None = None,
     seed: int = 0,
     trace: bool = False,
+    fault_plan=None,
 ):
     """Execute one block on a fresh simulation kernel.
 
     Returns ``(BlockOutcome, Kernel)`` — the kernel is returned so callers
-    can inspect stats, traces and devices.
+    can inspect stats, traces and devices. ``fault_plan`` enables the
+    kernel's deterministic fault hooks (message drop/delay, stalls).
     """
     from repro.kernel import Kernel  # local import: kernel depends on core
 
     alts = _normalize(alternatives)
-    kernel = Kernel(profile=profile, cpus=cpus, seed=seed, trace=trace)
+    kernel = Kernel(profile=profile, cpus=cpus, seed=seed, trace=trace, fault_plan=fault_plan)
     box: dict[str, Any] = {}
 
     def driver(ctx):
@@ -123,32 +125,54 @@ def run_alternatives(
     timeout: float | None = None,
     elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
     backend: str = "sim",
+    fault_plan=None,
+    block_id: int = 0,
+    attempt: int = 0,
+    watchdog=None,
     **kwargs: Any,
 ) -> BlockOutcome:
     """Run a block of mutually exclusive alternatives; return the outcome.
 
     ``alternatives`` are :class:`Alternative` objects or callables. For
     the ``sim`` backend, callables may be generator programs or plain
-    functions of a dict workspace; for ``fork``/``thread`` they are plain
-    functions of a dict workspace. At most one alternative's state change
-    survives into ``outcome.extras["state"]``.
+    functions of a dict workspace; for ``fork``/``thread``/``sequential``
+    they are plain functions of a dict workspace. At most one
+    alternative's state change survives into ``outcome.extras["state"]``.
+
+    Robustness plumbing (see :mod:`repro.faults`): ``fault_plan`` injects
+    a deterministic fault schedule into whichever backend runs the block
+    (``block_id``/``attempt`` namespace its fault keys); ``watchdog`` is
+    a :class:`~repro.core.policy.WatchdogPolicy` enabling per-alternative
+    SIGTERM→SIGKILL hang escalation on the fork backend (ignored by the
+    backends that have no processes to signal).
     """
     if backend == "sim":
         outcome, _kernel = run_alternatives_sim(
-            alternatives, initial, timeout, elimination, **kwargs
+            alternatives, initial, timeout, elimination,
+            fault_plan=fault_plan, **kwargs
         )
         return outcome
     if backend == "fork":
         from repro.runtime.fork_backend import run_alternatives_fork
 
         return run_alternatives_fork(
-            alternatives, initial, timeout=timeout, elimination=elimination, **kwargs
+            alternatives, initial, timeout=timeout, elimination=elimination,
+            fault_plan=fault_plan, block_id=block_id, attempt=attempt,
+            watchdog=watchdog, **kwargs
         )
     if backend == "thread":
         from repro.runtime.thread_backend import run_alternatives_thread
 
         return run_alternatives_thread(
-            alternatives, initial, timeout=timeout, **kwargs
+            alternatives, initial, timeout=timeout, elimination=elimination,
+            fault_plan=fault_plan, block_id=block_id, attempt=attempt, **kwargs
+        )
+    if backend == "sequential":
+        from repro.runtime.sequential_backend import run_alternatives_sequential
+
+        return run_alternatives_sequential(
+            alternatives, initial, timeout=timeout,
+            fault_plan=fault_plan, block_id=block_id, attempt=attempt, **kwargs
         )
     raise WorldsError(f"unknown backend {backend!r}")
 

@@ -79,6 +79,17 @@ class AllAlternativesFailed(WorldsError):
     """Every alternative in a block aborted (guard failure or error)."""
 
 
+class SpawnError(WorldsError):
+    """Creating the worlds themselves failed (fork/thread spawn error).
+
+    Raised when the backend cannot even start the block — e.g. ``fork``
+    returning ``EAGAIN`` under process-table pressure (or the fault plane
+    simulating it). Distinct from alternatives *failing*: a supervisor
+    reacts by degrading to the next backend in its fallback chain rather
+    than by retrying alternatives.
+    """
+
+
 class BlockTimeout(WorldsError):
     """No alternative synchronized within the parent's TIMEOUT."""
 

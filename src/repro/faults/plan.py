@@ -1,0 +1,204 @@
+"""The deterministic fault-injection plan.
+
+A :class:`FaultPlan` answers one question — "does a fault fire at this
+*site* for this *key*, and which one?" — as a pure function of the plan's
+seed. Each (site, key) pair gets its own derived RNG stream
+(``numpy`` ``default_rng`` seeded with ``[seed, crc32(site), *key]``), so
+
+- the schedule is identical across runs and across processes (a forked
+  child computes the same decision its parent would);
+- decisions are independent of the *order* sites are queried in — a race
+  between real children cannot perturb which of them is doomed;
+- distinct attempts of the same alternative re-roll (the attempt number
+  is part of the key), which is what lets a supervisor's retry spares
+  make progress under a constant fault rate.
+
+Sites and their injectable kinds:
+
+========== ==================================================================
+site       fault kinds
+========== ==================================================================
+child      CRASH, HANG, SLOW_START, TRUNCATE_REPORT, CORRUPT_REPORT,
+           GUARD_EXCEPTION — keyed ``(block_id, index, attempt)``
+spawn      SPAWN_FAIL (simulated ``EAGAIN``) — keyed ``(block_id, index,
+           attempt)``
+kill       KILL_FAIL (first signal to the child is lost; the backend must
+           verify death and resend) — keyed ``(block_id, index, attempt)``
+message    MSG_DROP, MSG_DELAY — keyed ``(msg_id,)`` (simulation kernel)
+compute    STALL (extra virtual seconds) — keyed ``(wid, op_number)``
+           (simulation kernel)
+========== ==================================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class FaultKind(str, enum.Enum):
+    """One injectable failure mode."""
+
+    #: child dies before writing any report (fork: ``_exit``; thread: raise)
+    CRASH = "crash-before-report"
+    #: child stalls indefinitely (until a watchdog or timeout kills it)
+    HANG = "hang"
+    #: child starts late by ``slow_start_s`` (models a loaded machine)
+    SLOW_START = "slow-start"
+    #: fork backend: report header promises more bytes than arrive
+    TRUNCATE_REPORT = "truncated-report"
+    #: fork backend: report body is garbage of the advertised length
+    CORRUPT_REPORT = "corrupt-report"
+    #: the guard raises instead of returning a verdict
+    GUARD_EXCEPTION = "guard-exception"
+    #: spawning the world fails (simulated ``EAGAIN``/``BlockingIOError``)
+    SPAWN_FAIL = "spawn-fail"
+    #: the first kill signal to a child is lost (lingering would-be zombie)
+    KILL_FAIL = "kill-fail"
+    #: simulation kernel: the message never arrives
+    MSG_DROP = "msg-drop"
+    #: simulation kernel: delivery is delayed by ``msg_delay_s``
+    MSG_DELAY = "msg-delay"
+    #: simulation kernel: a costed op takes ``stall_s`` extra virtual time
+    STALL = "stall"
+
+
+CHILD_SITE = "child"
+SPAWN_SITE = "spawn"
+KILL_SITE = "kill"
+MESSAGE_SITE = "message"
+COMPUTE_SITE = "compute"
+
+#: Which kinds may fire at each site, in trial order (first hit wins).
+SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
+    CHILD_SITE: (
+        FaultKind.CRASH,
+        FaultKind.HANG,
+        FaultKind.SLOW_START,
+        FaultKind.TRUNCATE_REPORT,
+        FaultKind.CORRUPT_REPORT,
+        FaultKind.GUARD_EXCEPTION,
+    ),
+    SPAWN_SITE: (FaultKind.SPAWN_FAIL,),
+    KILL_SITE: (FaultKind.KILL_FAIL,),
+    MESSAGE_SITE: (FaultKind.MSG_DROP, FaultKind.MSG_DELAY),
+    COMPUTE_SITE: (FaultKind.STALL,),
+}
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The verdict for one (site, key): a kind (or None) plus a magnitude.
+
+    ``param`` is the fault's duration parameter where one applies
+    (HANG/SLOW_START/MSG_DELAY/STALL seconds); 0.0 otherwise.
+    """
+
+    kind: FaultKind | None = None
+    param: float = 0.0
+
+    @property
+    def fires(self) -> bool:
+        return self.kind is not None
+
+    def __bool__(self) -> bool:
+        return self.fires
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, reproducible fault schedule.
+
+    ``rates`` maps :class:`FaultKind` to an independent firing probability
+    in ``[0, 1]``; kinds absent from the map never fire. At a site where
+    several kinds are enabled, each is trialled in :data:`SITE_KINDS`
+    order and the first that fires wins (at most one fault per site/key).
+
+    The magnitude knobs (``hang_s`` etc.) are plain attributes so benches
+    can sweep them; they do not affect *which* faults fire.
+    """
+
+    seed: int = 0
+    rates: dict[FaultKind, float] = field(default_factory=dict)
+    hang_s: float = 30.0
+    slow_start_s: float = 0.1
+    msg_delay_s: float = 0.05
+    stall_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates.items():
+            if not isinstance(kind, FaultKind):
+                raise TypeError(f"rates key must be a FaultKind, got {kind!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {kind.value} must be in [0, 1], got {rate}")
+
+    # -- derived streams --------------------------------------------------
+    def _stream(self, site: str, key: tuple[int, ...]) -> np.random.Generator:
+        entropy = [self.seed & 0xFFFFFFFF, zlib.crc32(site.encode("ascii"))]
+        entropy.extend(int(k) & 0xFFFFFFFF for k in key)
+        return np.random.default_rng(entropy)
+
+    def _param_for(self, kind: FaultKind) -> float:
+        if kind is FaultKind.HANG:
+            return self.hang_s
+        if kind is FaultKind.SLOW_START:
+            return self.slow_start_s
+        if kind is FaultKind.MSG_DELAY:
+            return self.msg_delay_s
+        if kind is FaultKind.STALL:
+            return self.stall_s
+        return 0.0
+
+    # -- the decision procedure -------------------------------------------
+    def decide(self, site: str, *key: int) -> FaultDecision:
+        """The fault (if any) firing at ``site`` for ``key``.
+
+        Pure in ``(seed, site, key)``: calling twice, in any order, from
+        any process, yields the same decision.
+        """
+        try:
+            kinds = SITE_KINDS[site]
+        except KeyError:
+            raise ValueError(f"unknown fault site {site!r}") from None
+        if not any(self.rates.get(kind, 0.0) > 0.0 for kind in kinds):
+            return FaultDecision()
+        rng = self._stream(site, key)
+        for kind in kinds:
+            draw = float(rng.uniform())  # one draw per kind, always, so
+            # enabling an extra kind never reshuffles the draws of later ones
+            if draw < self.rates.get(kind, 0.0):
+                return FaultDecision(kind, self._param_for(kind))
+        return FaultDecision()
+
+    # -- convenience -------------------------------------------------------
+    def schedule(
+        self, block_id: int, n_alternatives: int, attempts: int = 1
+    ) -> list[tuple[int, int, FaultDecision]]:
+        """Materialize the child-site schedule for one block.
+
+        Returns ``(index, attempt, decision)`` triples — handy for tests
+        asserting two plans with equal seeds produce equal schedules, and
+        for benches reporting how many faults a sweep actually injected.
+        """
+        out = []
+        for attempt in range(attempts):
+            for index in range(n_alternatives):
+                out.append((index, attempt, self.decide(CHILD_SITE, block_id, index, attempt)))
+        return out
+
+    @classmethod
+    def crashes(cls, seed: int = 0, rate: float = 0.3, **knobs) -> "FaultPlan":
+        """A plan that only injects child crashes (the common bench case)."""
+        return cls(seed=seed, rates={FaultKind.CRASH: rate}, **knobs)
+
+    @classmethod
+    def quiet(cls) -> "FaultPlan":
+        """A plan that never fires (useful as a control arm)."""
+        return cls(seed=0, rates={})
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        on = {k.value: v for k, v in self.rates.items() if v > 0}
+        return f"FaultPlan(seed={self.seed}, rates={on})"

@@ -40,6 +40,26 @@ class ReceiveAction:
         return self.decision is MessageDecision.SPLIT
 
 
+def fault_filter(message: Message, plan) -> tuple[str, float]:
+    """Pure fault hook: what the network does to ``message`` under ``plan``.
+
+    Returns ``("deliver" | "drop" | "delay", delay_s)``. The decision is
+    keyed on the message id alone, so it is independent of routing order
+    and identical across runs — the deterministic-replay property world
+    cloning depends on survives fault injection. The kernel consults this
+    before routing; a dropped message traces like a dead letter, a
+    delayed one is re-routed ``delay_s`` later.
+    """
+    from repro.faults.plan import MESSAGE_SITE, FaultKind  # local: avoid import cycle
+
+    decision = plan.decide(MESSAGE_SITE, message.msg_id)
+    if decision.kind is FaultKind.MSG_DROP:
+        return "drop", 0.0
+    if decision.kind is FaultKind.MSG_DELAY:
+        return "delay", decision.param
+    return "deliver", 0.0
+
+
 def decide_receive(message: Message, receiver: PredicateSet) -> ReceiveAction:
     """Classify ``message`` against ``receiver`` and prepare predicate sets.
 

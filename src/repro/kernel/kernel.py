@@ -187,6 +187,13 @@ class Kernel:
         :class:`~repro.errors.SourceAccessError` inside the program.
     trace:
         Record :class:`~repro.kernel.trace.TraceEvent` history.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`. Enables the
+        kernel's deterministic fault hooks: message drop/delay (decided
+        per ``msg_id`` via :func:`repro.ipc.router.fault_filter`) and
+        per-op compute stalls (decided per ``(wid, op_number)``). Faults
+        change timing and delivery, never the replay log contents, so
+        world cloning stays sound under injection.
     """
 
     def __init__(
@@ -197,6 +204,7 @@ class Kernel:
         source_policy: str = "block",
         trace: bool = False,
         max_worlds: int = 10_000,
+        fault_plan=None,
     ) -> None:
         """``max_worlds`` bounds total world creation — the defence
         against the abstract's "combinatorial explosion" when message
@@ -215,6 +223,8 @@ class Kernel:
         self.rng = ReplayableRNG(seed)
         self.source_policy = source_policy
         self.trace = Trace(enabled=trace)
+        self.fault_plan = fault_plan
+        self.faults_injected: list[dict] = []
 
         self.now = 0.0
         self.worlds: dict[int, SimProcess] = {}
@@ -588,7 +598,8 @@ class Kernel:
             if op.seconds == 0:
                 self._log(world, op, None)
                 return _INLINE, None
-            self._park_costed(world, op, op.seconds, None)
+            seconds = op.seconds + self._stall_for(world)
+            self._park_costed(world, op, seconds, None)
             return _PARKED, None
 
         if isinstance(op, sc.Sleep):
@@ -680,8 +691,28 @@ class Kernel:
             self._on_slice(event)
         elif event.kind == "timer":
             self._on_timer(event)
+        elif event.kind == "route":
+            # a fault-delayed message reaching its rescheduled delivery
+            self._route_message(event.data[0], fault_checked=True)
         else:  # pragma: no cover - defensive
             raise KernelError(f"unknown event kind {event.kind!r}")
+
+    def _stall_for(self, world: SimProcess) -> float:
+        """Injected extra virtual seconds for this world's next costed op."""
+        if self.fault_plan is None:
+            return 0.0
+        from repro.faults.plan import COMPUTE_SITE, FaultKind
+
+        decision = self.fault_plan.decide(COMPUTE_SITE, world.wid, len(world.log))
+        if decision.kind is not FaultKind.STALL:
+            return 0.0
+        self.faults_injected.append(
+            {"kind": "stall", "wid": world.wid, "pid": world.pid, "extra_s": decision.param}
+        )
+        self.trace.record(
+            self.now, "fault-stall", world.pid, wid=world.wid, extra_s=decision.param
+        )
+        return decision.param
 
     def _on_slice(self, event: _Event) -> None:
         wid, token, slice_s = event.data
@@ -778,7 +809,28 @@ class Kernel:
     # ------------------------------------------------------------------
     # messaging: routing, receive rule, world splitting
     # ------------------------------------------------------------------
-    def _route_message(self, msg: Message) -> None:
+    def _route_message(self, msg: Message, fault_checked: bool = False) -> None:
+        if self.fault_plan is not None and not fault_checked:
+            from repro.ipc.router import fault_filter
+
+            verdict, delay_s = fault_filter(msg, self.fault_plan)
+            if verdict == "drop":
+                self.faults_injected.append({"kind": "msg-drop", "msg_id": msg.msg_id})
+                self.trace.record(
+                    self.now, "fault-msg-drop", msg.dest,
+                    msg_id=msg.msg_id, sender=msg.sender,
+                )
+                return
+            if verdict == "delay":
+                self.faults_injected.append(
+                    {"kind": "msg-delay", "msg_id": msg.msg_id, "delay_s": delay_s}
+                )
+                self.trace.record(
+                    self.now, "fault-msg-delay", msg.dest,
+                    msg_id=msg.msg_id, delay_s=delay_s,
+                )
+                self._push_event(self.now + delay_s, "route", (msg,))
+                return
         targets = [
             self.worlds[w]
             for w in self.pid_worlds.get(msg.dest, [])

@@ -1,4 +1,4 @@
-"""Multiple Worlds on real processes: ``os.fork`` + pipes + SIGKILL.
+"""Multiple Worlds on real processes: ``os.fork`` + pipes + signals.
 
 Each alternative runs in a forked child against a workspace dict the child
 inherits through the host kernel's genuine copy-on-write. The first child
@@ -12,9 +12,24 @@ The protocol is deliberately simple and robust:
 
 - each child gets its own pipe; it writes one length-prefixed pickle
   ``("ok", value, workspace)`` or ``("fail", reason)`` and ``_exit``\\ s;
-- the parent ``select``\\ s across pipes until a success, every child has
-  failed, or the block times out;
-- a child that dies without reporting (crash, OOM-kill) counts as failed.
+- the parent multiplexes across pipes with :mod:`selectors` (epoll/kqueue
+  where available, so blocks with hundreds of alternatives don't hit
+  ``select``'s ``FD_SETSIZE`` wall), retrying on ``EINTR``, until a
+  success, every child has failed, or the block times out;
+- a child that dies without reporting (crash, OOM-kill) counts as failed,
+  and a truncated report is diagnosed as such;
+- with a :class:`~repro.core.policy.WatchdogPolicy`, a child that blows
+  its per-alternative soft deadline is escalated SIGTERM → grace →
+  SIGKILL instead of hanging the block until the global timeout;
+- kill signals are *verified*: a child that survives its first SIGKILL
+  (or whose signal the fault plane deliberately "loses") is re-signalled
+  until reaped, so no zombie outlives the block.
+
+Deterministic fault injection (:class:`~repro.faults.plan.FaultPlan`) is
+threaded through every stage: child crash/hang/slow-start/corrupt-report
+faults fire inside :func:`_child_main`, spawn failures surface as
+:class:`~repro.errors.SpawnError` (so a supervisor can degrade backends),
+and kill-signal loss exercises the verified-reap path.
 """
 
 from __future__ import annotations
@@ -22,7 +37,7 @@ from __future__ import annotations
 import errno
 import os
 import pickle
-import select
+import selectors
 import signal
 import struct
 import time
@@ -31,11 +46,16 @@ from typing import Any, Sequence
 from repro.analysis.overhead import OverheadBreakdown
 from repro.core.alternative import Alternative, GuardPlacement
 from repro.core.outcome import AlternativeResult, BlockOutcome
-from repro.core.policy import EliminationPolicy
+from repro.core.policy import EliminationPolicy, WatchdogPolicy
 from repro.core.worlds import _normalize
-from repro.errors import WorldsError
+from repro.errors import SpawnError, WorldsError
+from repro.faults.plan import CHILD_SITE, KILL_SITE, SPAWN_SITE, FaultDecision, FaultKind
 
 _HEADER = struct.Struct("<Q")
+
+#: Bounded patience for verified reaping before we give up on a zombie.
+_REAP_TIMEOUT_S = 2.0
+_REAP_POLL_S = 0.005
 
 
 def _picklable(value: Any) -> bool:
@@ -93,6 +113,11 @@ class _ChildReader:
         self.expected: int | None = None
         self.eof = False
 
+    @property
+    def truncated(self) -> bool:
+        """EOF arrived mid-report (header or body incomplete)."""
+        return self.eof and (self.expected is not None or bool(self.buffer))
+
     def pump(self) -> tuple | None:
         """Read available bytes; return the report once complete."""
         try:
@@ -116,11 +141,38 @@ class _ChildReader:
         return None
 
 
-def _child_main(alt: Alternative, workspace: dict, write_fd: int) -> None:
-    """Runs in the forked child; never returns."""
+def _child_main(
+    alt: Alternative,
+    workspace: dict,
+    write_fd: int,
+    fault: FaultDecision | None = None,
+) -> None:
+    """Runs in the forked child; never returns.
+
+    ``fault`` is this child's verdict from the block's fault plan,
+    computed (deterministically) before the fork. Faults fire at the
+    stage they model: CRASH/HANG/SLOW_START before any work,
+    GUARD_EXCEPTION in place of the entry guard, TRUNCATE/CORRUPT at
+    report time — after the real result was computed, which is exactly
+    when a real pipe write would break.
+    """
     try:
         if alt.start_delay > 0:
             time.sleep(alt.start_delay)
+        if fault is not None and fault.fires:
+            if fault.kind is FaultKind.CRASH:
+                os._exit(13)
+            if fault.kind is FaultKind.HANG:
+                time.sleep(fault.param)
+                os._exit(11)
+            if fault.kind is FaultKind.SLOW_START:
+                time.sleep(fault.param)
+            if fault.kind is FaultKind.GUARD_EXCEPTION:
+                _write_report(
+                    write_fd,
+                    ("fail", f"guard {alt.guard.name!r} raised (injected exception)"),
+                )
+                os._exit(0)
         if not alt.guard.passes_entry(workspace):
             _write_report(write_fd, ("fail", f"guard {alt.guard.name!r} rejected entry"))
             os._exit(0)
@@ -128,6 +180,19 @@ def _child_main(alt: Alternative, workspace: dict, write_fd: int) -> None:
         if not alt.guard.passes_result(workspace, value):
             _write_report(write_fd, ("fail", f"guard {alt.guard.name!r} rejected result"))
             os._exit(0)
+        if fault is not None and fault.kind is FaultKind.TRUNCATE_REPORT:
+            blob = _encode_report(("ok", value, workspace))
+            os.write(write_fd, _HEADER.pack(len(blob)))
+            os.write(write_fd, blob[: len(blob) // 2])
+            os._exit(12)
+        if fault is not None and fault.kind is FaultKind.CORRUPT_REPORT:
+            blob = _encode_report(("ok", value, workspace))
+            garbage = (b"\xde\xad\xbe\xef" * (len(blob) // 4 + 1))[: len(blob)]
+            os.write(write_fd, _HEADER.pack(len(blob)))
+            view = memoryview(garbage)
+            while view:
+                view = view[os.write(write_fd, view) :]
+            os._exit(12)
         _write_report(write_fd, ("ok", value, workspace))
     except BaseException as exc:  # noqa: BLE001 - report anything
         try:
@@ -138,30 +203,91 @@ def _child_main(alt: Alternative, workspace: dict, write_fd: int) -> None:
         os._exit(0)
 
 
-def _kill_children(pids: list[int], wait: bool) -> float:
-    """SIGKILL ``pids``; optionally wait for them. Returns elapsed seconds."""
-    t0 = time.perf_counter()
-    for pid in pids:
-        try:
-            os.kill(pid, signal.SIGKILL)
-        except ProcessLookupError:
-            pass
-    if wait:
-        for pid in pids:
+def _reap_verified(pids: Sequence[int], timeout_s: float = _REAP_TIMEOUT_S) -> list[int]:
+    """Reap ``pids``, re-signalling survivors; return unreaped stragglers.
+
+    SIGKILL is not optional, but a signal can be lost (the fault plane
+    simulates exactly that, and a PID in an uninterruptible kernel sleep
+    can genuinely linger), so death is verified with ``WNOHANG`` polls
+    and the kill resent until the child is actually gone.
+    """
+    remaining = set(pids)
+    deadline = time.perf_counter() + timeout_s
+    while remaining:
+        for pid in list(remaining):
             try:
-                os.waitpid(pid, 0)
+                done, _ = os.waitpid(pid, os.WNOHANG)
             except ChildProcessError:
+                remaining.discard(pid)
+                continue
+            if done:
+                remaining.discard(pid)
+        if not remaining or time.perf_counter() >= deadline:
+            break
+        for pid in remaining:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
                 pass
-    return time.perf_counter() - t0
+        time.sleep(_REAP_POLL_S)
+    return sorted(remaining)
 
 
-def _reap_async(pids: list[int]) -> None:
-    """Best-effort zombie reaping after asynchronous elimination."""
-    for pid in pids:
-        try:
-            os.waitpid(pid, 0)
-        except ChildProcessError:
-            pass
+def _terminate_children(
+    procs: Sequence[tuple[int, int, str]],
+    wait: bool,
+    grace_s: float = 0.0,
+    send=None,
+) -> tuple[float, list[dict]]:
+    """Eliminate ``procs`` (``(pid, index, name)``); return (elapsed, events).
+
+    With ``grace_s == 0`` this is the classic straight-SIGKILL
+    elimination. With a positive grace every child first receives
+    SIGTERM and gets ``grace_s`` seconds to exit on its own terms before
+    SIGKILL — the same escalation ladder the in-block watchdog uses.
+    ``send`` lets the caller interpose signal delivery (fault injection);
+    it returns False when the signal was "lost".
+    """
+    t0 = time.perf_counter()
+    events: list[dict] = []
+    if send is None:
+        def send(pid, index, sig):  # noqa: ANN001 - local default
+            try:
+                os.kill(pid, sig)
+            except ProcessLookupError:
+                pass
+            return True
+
+    survivors = list(procs)
+    if grace_s > 0 and survivors:
+        for pid, index, name in survivors:
+            delivered = send(pid, index, signal.SIGTERM)
+            events.append(
+                {"index": index, "name": name, "action": "sigterm" if delivered else "signal-lost",
+                 "at_s": time.perf_counter() - t0, "grace_s": grace_s}
+            )
+        grace_deadline = time.perf_counter() + grace_s
+        while survivors and time.perf_counter() < grace_deadline:
+            still = []
+            for pid, index, name in survivors:
+                try:
+                    done, _ = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    done = pid
+                if not done:
+                    still.append((pid, index, name))
+            survivors = still
+            if survivors:
+                time.sleep(_REAP_POLL_S)
+    for pid, index, name in survivors:
+        delivered = send(pid, index, signal.SIGKILL)
+        events.append(
+            {"index": index, "name": name, "action": "sigkill" if delivered else "signal-lost",
+             "at_s": time.perf_counter() - t0, "grace_s": grace_s}
+        )
+    if wait:
+        _reap_verified([pid for pid, _, _ in survivors])
+    return time.perf_counter() - t0, events
 
 
 def run_alternatives_fork(
@@ -169,6 +295,11 @@ def run_alternatives_fork(
     initial: dict[str, Any] | None = None,
     timeout: float | None = None,
     elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+    fault_plan=None,
+    block_id: int = 0,
+    attempt: int = 0,
+    watchdog: WatchdogPolicy | None = None,
+    elim_grace_s: float = 0.0,
 ) -> BlockOutcome:
     """Execute a block of alternatives as real forked processes.
 
@@ -176,11 +307,37 @@ def run_alternatives_fork(
     :class:`Alternative` objects wrapping them); generator programs are a
     simulation-backend concept. Returns a
     :class:`~repro.core.outcome.BlockOutcome` whose times are wall clock.
+
+    ``fault_plan``/``block_id``/``attempt`` drive deterministic fault
+    injection (see :mod:`repro.faults.plan`); ``watchdog`` enables
+    per-alternative SIGTERM→SIGKILL hang escalation; ``elim_grace_s``
+    applies the same escalation to post-winner sibling elimination
+    (0 keeps the paper's immediate destruction).
+
+    Raises :class:`~repro.errors.SpawnError` when the worlds cannot be
+    created at all (real fork failure or an injected ``EAGAIN``); any
+    children already spawned are destroyed first.
     """
     if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
         raise WorldsError("fork backend requires a POSIX platform")
     alts = _normalize(alternatives)
     workspace: dict[str, Any] = dict(initial or {})
+
+    # -- fault bookkeeping -------------------------------------------------
+    injected: list[dict] = []
+    lost_checked: set[int] = set()
+
+    def _send_signal(pid: int, index: int, sig: int) -> bool:
+        """Deliver a signal unless the plan loses this child's first one."""
+        if fault_plan is not None and pid not in lost_checked:
+            lost_checked.add(pid)
+            if fault_plan.decide(KILL_SITE, block_id, index, attempt).fires:
+                return False
+        try:
+            os.kill(pid, sig)
+        except ProcessLookupError:
+            pass
+        return True
 
     t_start = time.perf_counter()
     children: dict[int, tuple[int, Alternative, _ChildReader]] = {}  # pid -> (index, alt, reader)
@@ -199,8 +356,23 @@ def run_alternatives_fork(
                     )
                 )
                 continue
-        read_fd, write_fd = os.pipe()
-        pid = os.fork()
+        child_fault = None
+        if fault_plan is not None:
+            if fault_plan.decide(SPAWN_SITE, block_id, index, attempt).fires:
+                spawn_exc = BlockingIOError(errno.EAGAIN, "injected: resource temporarily unavailable")
+                _abort_spawn(children)
+                raise SpawnError(
+                    f"spawning alternative {alt.name!r} failed: {spawn_exc}"
+                ) from spawn_exc
+            child_fault = fault_plan.decide(CHILD_SITE, block_id, index, attempt)
+            if child_fault.fires:
+                injected.append({"index": index, "name": alt.name, "kind": child_fault.kind.value})
+        try:
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+        except OSError as exc:  # pragma: no cover - needs real EAGAIN
+            _abort_spawn(children)
+            raise SpawnError(f"spawning alternative {alt.name!r} failed: {exc}") from exc
         if pid == 0:
             # child: alt_spawn returned our index (1-based in the paper)
             os.close(read_fd)
@@ -209,7 +381,7 @@ def run_alternatives_fork(
                     os.close(reader.fd)
                 except OSError:
                     pass
-            _child_main(alt, workspace, write_fd)
+            _child_main(alt, workspace, write_fd, child_fault)
             os._exit(0)  # pragma: no cover - _child_main never returns
         os.close(write_fd)
         os.set_blocking(read_fd, False)
@@ -222,40 +394,104 @@ def run_alternatives_fork(
     timed_out = False
     deadline = None if timeout is None else t_start + timeout
 
+    # -- watchdog state ----------------------------------------------------
+    watchdog_events: list[dict] = []
+    soft_deadlines: dict[int, float] = {}
+    term_at: dict[int, float] = {}   # pid -> when SIGTERM went out
+    killed: set[int] = set()         # pid -> SIGKILL sent, awaiting EOF
+    if watchdog is not None:
+        for pid, (index, alt, _) in children.items():
+            soft_deadlines[pid] = t_spawned + watchdog.deadline_for(alt.start_delay)
+
     pending = dict(children)
+    sel = selectors.DefaultSelector()
+    for pid, (_, _, reader) in pending.items():
+        sel.register(reader.fd, selectors.EVENT_READ, pid)
+
+    def _retire(pid: int, reader: _ChildReader) -> None:
+        """Stop listening to a settled child and reap it."""
+        sel.unregister(reader.fd)
+        os.close(reader.fd)
+        del pending[pid]
+        _reap_verified([pid])
+
     try:
         while pending and winner is None:
-            wait_s = None
-            if deadline is not None:
-                wait_s = deadline - time.perf_counter()
-                if wait_s <= 0:
-                    timed_out = True
-                    break
-            fds = [reader.fd for _, _, reader in pending.values()]
-            readable, _, _ = select.select(fds, [], [], wait_s)
-            if not readable:
+            now = time.perf_counter()
+            if deadline is not None and now >= deadline:
                 timed_out = True
                 break
+            # watchdog escalation pass: SIGTERM at the soft deadline,
+            # SIGKILL once the grace period expires without an exit
+            if watchdog is not None:
+                for pid in list(pending):
+                    if pid in killed:
+                        continue
+                    index, alt, _ = pending[pid]
+                    if pid in term_at:
+                        if now >= term_at[pid] + watchdog.term_grace_s:
+                            delivered = _send_signal(pid, index, signal.SIGKILL)
+                            killed.add(pid)
+                            watchdog_events.append({
+                                "index": index, "name": alt.name,
+                                "action": "sigkill" if delivered else "signal-lost",
+                                "at_s": now - t_start,
+                                "grace_s": now - term_at[pid],
+                            })
+                    elif now >= soft_deadlines[pid]:
+                        delivered = _send_signal(pid, index, signal.SIGTERM)
+                        term_at[pid] = now
+                        watchdog_events.append({
+                            "index": index, "name": alt.name,
+                            "action": "sigterm" if delivered else "signal-lost",
+                            "at_s": now - t_start,
+                            "grace_s": watchdog.term_grace_s,
+                        })
+            # earliest future obligation bounds the poll
+            wakeups = []
+            if deadline is not None:
+                wakeups.append(deadline)
+            if watchdog is not None:
+                for pid in pending:
+                    if pid in killed:
+                        # SIGKILL'd children die on their own schedule; the
+                        # verified reap below is the backstop, not the poll
+                        wakeups.append(time.perf_counter() + 5 * _REAP_POLL_S)
+                    elif pid in term_at:
+                        wakeups.append(term_at[pid] + watchdog.term_grace_s)
+                    else:
+                        wakeups.append(soft_deadlines[pid])
+            wait_s = None
+            if wakeups:
+                wait_s = max(0.0, min(wakeups) - time.perf_counter())
+            try:
+                events = sel.select(wait_s)
+            except InterruptedError:  # EINTR: PEP 475 retries for us, but be explicit
+                continue
+            if not events:
+                continue  # deadline / watchdog action re-checked at loop top
             now = time.perf_counter()
-            for fd in readable:
-                pid = next(p for p, (_, _, r) in pending.items() if r.fd == fd)
+            for key, _mask in events:
+                pid = key.data
+                if pid not in pending:
+                    continue
                 index, alt, reader = pending[pid]
                 report = reader.pump()
                 if report is None:
                     if reader.eof:
+                        if pid in term_at or pid in killed:
+                            error = "killed by watchdog (soft deadline exceeded)"
+                        elif reader.truncated:
+                            error = "truncated report (child died mid-write)"
+                        else:
+                            error = "child died without reporting"
                         losers.append(
                             AlternativeResult(
-                                index=index, name=alt.name,
-                                error="child died without reporting",
+                                index=index, name=alt.name, error=error,
                                 elapsed_s=now - t_spawned,
                             )
                         )
-                        os.close(reader.fd)
-                        del pending[pid]
-                        try:
-                            os.waitpid(pid, 0)
-                        except ChildProcessError:
-                            pass
+                        _retire(pid, reader)
                     continue
                 if report[0] == "ok":
                     value, child_ws = report[1], report[2]
@@ -271,12 +507,7 @@ def run_alternatives_fork(
                             succeeded=True, elapsed_s=now - t_spawned,
                         )
                         winner_ws = child_ws
-                        os.close(reader.fd)
-                        try:
-                            os.waitpid(pid, 0)
-                        except ChildProcessError:
-                            pass
-                        del pending[pid]
+                        _retire(pid, reader)
                         break
                     losers.append(
                         AlternativeResult(
@@ -293,31 +524,43 @@ def run_alternatives_fork(
                             elapsed_s=now - t_spawned,
                         )
                     )
-                os.close(reader.fd)
-                del pending[pid]
-                try:
-                    os.waitpid(pid, 0)
-                except ChildProcessError:
-                    pass
+                _retire(pid, reader)
     finally:
         # eliminate whatever is still running
         leftover_pids = list(pending)
         elim_seconds = 0.0
+        elim_events: list[dict] = []
         if leftover_pids:
             for _, _, reader in pending.values():
+                try:
+                    sel.unregister(reader.fd)
+                except (KeyError, ValueError):
+                    pass
                 try:
                     os.close(reader.fd)
                 except OSError:
                     pass
             synchronous = elimination is EliminationPolicy.SYNCHRONOUS
-            elim_seconds = _kill_children(leftover_pids, wait=synchronous)
+            elim_seconds, elim_events = _terminate_children(
+                [(pid, pending[pid][0], pending[pid][1].name) for pid in leftover_pids],
+                wait=synchronous,
+                grace_s=elim_grace_s,
+                send=_send_signal,
+            )
+        sel.close()
 
     t_resume = time.perf_counter()
+    # a leftover child killed after a winner synchronized was *eliminated*;
+    # only a block that expired with no winner timeout-kills its children
+    leftover_error = "eliminated" if winner is not None else (
+        "timeout-killed" if timed_out else "eliminated"
+    )
     for pid in leftover_pids:
         losers.append(
             AlternativeResult(
                 index=children[pid][0], name=children[pid][1].name,
-                error="eliminated" if not timed_out else "timeout-killed",
+                error=leftover_error,
+                elapsed_s=t_resume - t_spawned,
             )
         )
     overhead = OverheadBreakdown(
@@ -335,6 +578,29 @@ def run_alternatives_fork(
         outcome.extras["state"] = winner_ws
     outcome.extras["elimination_policy"] = elimination.value
     outcome.extras["eliminated"] = len(leftover_pids)
+    if watchdog_events or elim_events:
+        outcome.extras["watchdog"] = watchdog_events + elim_events
+        outcome.extras["watchdog_grace_s"] = sum(
+            e["grace_s"] for e in watchdog_events if e["action"] == "sigkill"
+        )
+    if injected:
+        outcome.extras["injected_faults"] = injected
     if elimination is EliminationPolicy.ASYNCHRONOUS and leftover_pids:
-        _reap_async(leftover_pids)
+        zombies = _reap_verified(leftover_pids)
+        if zombies:  # pragma: no cover - requires a truly unkillable child
+            outcome.extras["zombies"] = zombies
     return outcome
+
+
+def _abort_spawn(children: dict[int, tuple[int, Alternative, _ChildReader]]) -> None:
+    """Destroy children already forked when later spawning fails."""
+    for pid, (_, _, reader) in children.items():
+        try:
+            os.close(reader.fd)
+        except OSError:
+            pass
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+    _reap_verified(list(children))

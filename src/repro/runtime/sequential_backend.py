@@ -1,0 +1,144 @@
+"""Degenerate Multiple Worlds: one alternative at a time, in-process.
+
+The last rung of the supervisor's degradation ladder (``fork -> thread
+-> sequential``): when even thread creation fails, the block's semantics
+can still be honoured by classic standby-spares execution — try each
+alternative in order against a fresh deep copy of the workspace, commit
+the first whose guard accepts. Response time degrades to the sum of the
+failed prefix (exactly the sequential cost the paper's parallel
+execution eliminates) but the observable result remains one a
+sequential execution could have produced, which is the only semantic
+contract the block makes.
+
+No worlds are spawned, so spawn faults cannot fire here; child-site
+faults still apply (a crash is a crash wherever the code runs) — except
+HANG, which is recorded as a failure instead of executed, since hanging
+the only thread of control would deadlock the degraded block.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Any, Sequence
+
+from repro.analysis.overhead import OverheadBreakdown
+from repro.core.outcome import AlternativeResult, BlockOutcome
+from repro.core.worlds import _normalize
+from repro.faults.plan import CHILD_SITE, FaultKind
+
+
+def run_alternatives_sequential(
+    alternatives: Sequence[Any],
+    initial: dict[str, Any] | None = None,
+    timeout: float | None = None,
+    fault_plan=None,
+    block_id: int = 0,
+    attempt: int = 0,
+    **_ignored: Any,
+) -> BlockOutcome:
+    """Try alternatives in order; first guard-accepted result wins."""
+    alts = _normalize(alternatives)
+    base = dict(initial or {})
+
+    t_start = time.perf_counter()
+    deadline = None if timeout is None else t_start + timeout
+    winner: AlternativeResult | None = None
+    winner_ws: dict | None = None
+    losers: list[AlternativeResult] = []
+    timed_out = False
+    injected: list[dict] = []
+
+    for index, alt in enumerate(alts):
+        if deadline is not None and time.perf_counter() >= deadline:
+            timed_out = True
+            losers.append(
+                AlternativeResult(
+                    index=index, name=alt.name, error="timeout-killed",
+                    elapsed_s=time.perf_counter() - t_start,
+                )
+            )
+            continue
+        fault = None
+        if fault_plan is not None:
+            fault = fault_plan.decide(CHILD_SITE, block_id, index, attempt)
+            if fault.fires:
+                injected.append({"index": index, "name": alt.name, "kind": fault.kind.value})
+        t0 = time.perf_counter()
+        if fault is not None and fault.fires:
+            if fault.kind is FaultKind.SLOW_START:
+                time.sleep(fault.param)
+            elif fault.kind is FaultKind.HANG:
+                losers.append(
+                    AlternativeResult(
+                        index=index, name=alt.name,
+                        error="injected hang (skipped: sequential execution cannot hang)",
+                    )
+                )
+                continue
+            elif fault.kind is FaultKind.GUARD_EXCEPTION:
+                losers.append(
+                    AlternativeResult(
+                        index=index, name=alt.name, guard_failed=True,
+                        error=f"guard {alt.guard.name!r} raised (injected exception)",
+                    )
+                )
+                continue
+            else:  # CRASH / TRUNCATE / CORRUPT all mean "no result arrived"
+                losers.append(
+                    AlternativeResult(
+                        index=index, name=alt.name,
+                        error=f"injected {fault.kind.value}",
+                    )
+                )
+                continue
+        workspace = copy.deepcopy(base)
+        try:
+            if not alt.guard.passes_entry(workspace):
+                losers.append(
+                    AlternativeResult(
+                        index=index, name=alt.name, guard_failed=True,
+                        error=f"guard {alt.guard.name!r} rejected entry",
+                        elapsed_s=time.perf_counter() - t0,
+                    )
+                )
+                continue
+            value = alt.fn(workspace)
+            if not alt.guard.passes_result(workspace, value):
+                losers.append(
+                    AlternativeResult(
+                        index=index, name=alt.name, guard_failed=True,
+                        error=f"guard {alt.guard.name!r} rejected result",
+                        elapsed_s=time.perf_counter() - t0,
+                    )
+                )
+                continue
+        except BaseException as exc:  # noqa: BLE001 - any failure is a loser
+            losers.append(
+                AlternativeResult(
+                    index=index, name=alt.name,
+                    error=f"alternative raised {exc!r}",
+                    elapsed_s=time.perf_counter() - t0,
+                )
+            )
+            continue
+        winner = AlternativeResult(
+            index=index, name=alt.name, value=value, succeeded=True,
+            elapsed_s=time.perf_counter() - t0,
+        )
+        winner_ws = workspace
+        break
+
+    outcome = BlockOutcome(
+        winner=winner,
+        elapsed_s=time.perf_counter() - t_start,
+        overhead=OverheadBreakdown(),
+        timed_out=timed_out and winner is None,
+        losers=sorted(losers, key=lambda r: r.index),
+    )
+    if winner_ws is not None:
+        outcome.extras["state"] = winner_ws
+    if injected:
+        outcome.extras["injected_faults"] = injected
+    outcome.extras["sequential"] = True
+    return outcome

@@ -1,12 +1,37 @@
 """Thread-based Multiple Worlds (an approximation, and a useful baseline).
 
-Threads cannot be killed, so "elimination" here only means the block stops
-listening: losers run to completion in daemon threads and their results
-are discarded. Each alternative gets a deep copy of the workspace, so the
-isolation semantics match the other backends; what differs is throughput
-(losers keep burning CPU) and the GIL's serialization of pure-Python work.
-The backend exists (a) for platforms without ``fork`` and (b) as the
-"can't eliminate siblings" ablation point in the benchmarks.
+Threads cannot be killed, so elimination is *cooperative*: when a winner
+commits, the block sets a shared :class:`CancelToken` (visible to every
+alternative as ``workspace["_cancel"]``) and stops listening; a
+well-behaved long-running alternative polls ``token.cancelled`` and
+returns early, while an oblivious one runs to completion in a daemon
+thread with its result discarded. The ``elimination`` policy maps onto
+this the only way it can:
+
+- ``ASYNCHRONOUS`` (default) — the paper's semantics, faithfully: the
+  parent resumes immediately; losers die "at some unspecified later
+  time" (here: whenever they next check the token, or at interpreter
+  exit).
+- ``SYNCHRONOUS`` — the parent joins the remaining threads before
+  returning, so no loser is still executing when the block completes.
+  Because cancellation is cooperative, this blocks for as long as the
+  slowest non-cooperating loser keeps running — the honest price of
+  synchronous elimination without kill.
+
+Each alternative gets a deep copy of the workspace, so the isolation
+semantics match the other backends; what differs is throughput (losers
+keep burning CPU until they notice cancellation) and the GIL's
+serialization of pure-Python work. The backend exists (a) for platforms
+without ``fork``, (b) as the "can't eliminate siblings" ablation point
+in the benchmarks, and (c) as the middle rung of the supervisor's
+degradation chain.
+
+Deterministic fault injection mirrors the fork backend where the faults
+make sense in-process: CRASH and the report-corruption kinds surface as
+raised exceptions, HANG parks the worker (daemon thread, so it cannot
+wedge interpreter exit), SLOW_START sleeps, GUARD_EXCEPTION fails the
+guard, and SPAWN_FAIL raises :class:`~repro.errors.SpawnError` so a
+supervisor can degrade to sequential execution.
 """
 
 from __future__ import annotations
@@ -20,14 +45,63 @@ from typing import Any, Sequence
 from repro.analysis.overhead import OverheadBreakdown
 from repro.core.alternative import Alternative, GuardPlacement
 from repro.core.outcome import AlternativeResult, BlockOutcome
+from repro.core.policy import EliminationPolicy
 from repro.core.worlds import _normalize
+from repro.errors import SpawnError
+from repro.faults.plan import CHILD_SITE, SPAWN_SITE, FaultDecision, FaultKind
 
 
-def _worker(index: int, alt: Alternative, workspace: dict, out: "queue.Queue") -> None:
+class CancelToken:
+    """Cooperative elimination signal, shared by a block's alternatives.
+
+    Injected into every workspace as ``workspace["_cancel"]``; a
+    long-running alternative that wants to honour elimination polls
+    :attr:`cancelled` and returns early (its result is discarded
+    anyway). The token is stripped from the winning workspace before it
+    is surfaced in ``extras["state"]``.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CancelToken(cancelled={self.cancelled})"
+
+
+def _worker(
+    index: int,
+    alt: Alternative,
+    workspace: dict,
+    out: "queue.Queue",
+    fault: FaultDecision | None = None,
+) -> None:
     if alt.start_delay > 0:
         time.sleep(alt.start_delay)
     t0 = time.perf_counter()
     try:
+        if fault is not None and fault.fires:
+            if fault.kind is FaultKind.HANG:
+                time.sleep(fault.param)
+                out.put((index, "fail", "injected hang elapsed", None, t0))
+                return
+            if fault.kind is FaultKind.SLOW_START:
+                time.sleep(fault.param)
+            elif fault.kind is FaultKind.GUARD_EXCEPTION:
+                out.put(
+                    (index, "fail", f"guard {alt.guard.name!r} raised (injected exception)", None, t0)
+                )
+                return
+            elif fault.kind is not FaultKind.SLOW_START:
+                # CRASH / TRUNCATE / CORRUPT: in-process, all mean the
+                # worker dies before a usable report exists
+                raise RuntimeError(f"injected {fault.kind.value}")
         if not alt.guard.passes_entry(workspace):
             out.put((index, "fail", f"guard {alt.guard.name!r} rejected entry", None, t0))
             return
@@ -44,15 +118,27 @@ def run_alternatives_thread(
     alternatives: Sequence[Any],
     initial: dict[str, Any] | None = None,
     timeout: float | None = None,
+    elimination: EliminationPolicy = EliminationPolicy.ASYNCHRONOUS,
+    fault_plan=None,
+    block_id: int = 0,
+    attempt: int = 0,
     **_ignored: Any,
 ) -> BlockOutcome:
-    """Execute a block of plain-callable alternatives on threads."""
+    """Execute a block of plain-callable alternatives on threads.
+
+    See the module docstring for the cooperative-cancellation semantics
+    of ``elimination``. Raises :class:`~repro.errors.SpawnError` on an
+    injected spawn failure (already-started siblings are cancelled and
+    abandoned as daemons).
+    """
     alts = _normalize(alternatives)
     base = dict(initial or {})
     reports: "queue.Queue" = queue.Queue()
+    token = CancelToken()
+    injected: list[dict] = []
 
     t_start = time.perf_counter()
-    started = 0
+    threads: list[threading.Thread] = []
     skipped: list[AlternativeResult] = []
     for index, alt in enumerate(alts):
         if alt.guard.placement & GuardPlacement.BEFORE_SPAWN and alt.guard.check is not None:
@@ -68,12 +154,28 @@ def run_alternatives_thread(
                     )
                 )
                 continue
+        fault = None
+        if fault_plan is not None:
+            if fault_plan.decide(SPAWN_SITE, block_id, index, attempt).fires:
+                token.cancel()  # abandon already-started siblings
+                raise SpawnError(
+                    f"spawning alternative {alt.name!r} failed: injected thread-start failure"
+                )
+            fault = fault_plan.decide(CHILD_SITE, block_id, index, attempt)
+            if fault.fires:
+                injected.append({"index": index, "name": alt.name, "kind": fault.kind.value})
         workspace = copy.deepcopy(base)
-        thread = threading.Thread(
-            target=_worker, args=(index, alt, workspace, reports), daemon=True
-        )
-        thread.start()
-        started += 1
+        workspace["_cancel"] = token
+        try:
+            thread = threading.Thread(
+                target=_worker, args=(index, alt, workspace, reports, fault), daemon=True
+            )
+            thread.start()
+        except RuntimeError as exc:  # pragma: no cover - needs thread exhaustion
+            token.cancel()
+            raise SpawnError(f"spawning alternative {alt.name!r} failed: {exc}") from exc
+        threads.append(thread)
+    started = len(threads)
     t_spawned = time.perf_counter()
 
     winner: AlternativeResult | None = None
@@ -111,6 +213,17 @@ def run_alternatives_thread(
                 )
             )
 
+    token.cancel()  # cooperative elimination: losers see this on next poll
+    if elimination is EliminationPolicy.SYNCHRONOUS:
+        # no loser may still be executing when the parent resumes; with
+        # cooperative cancellation this means joining them out
+        for thread in threads:
+            join_s = None
+            if deadline is not None:
+                join_s = max(0.0, deadline + 5.0 - time.perf_counter())
+            thread.join(timeout=join_s)
+        remaining = sum(1 for t in threads if t.is_alive())
+
     outcome = BlockOutcome(
         winner=winner,
         elapsed_s=time.perf_counter() - t_start,
@@ -119,6 +232,10 @@ def run_alternatives_thread(
         losers=sorted(losers, key=lambda r: r.index),
     )
     if winner_ws is not None:
+        winner_ws.pop("_cancel", None)
         outcome.extras["state"] = winner_ws
     outcome.extras["uncollected"] = remaining if winner else 0
+    outcome.extras["elimination_policy"] = elimination.value
+    if injected:
+        outcome.extras["injected_faults"] = injected
     return outcome

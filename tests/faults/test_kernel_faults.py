@@ -1,0 +1,171 @@
+"""Fault hooks inside the simulation kernel: message drop/delay and
+compute stalls — deterministic, and visible in traces and stats."""
+
+from repro.core.alternative import Alternative
+from repro.core.worlds import run_alternatives_sim
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.kernel import Kernel, TIMEOUT
+
+
+def _chat(kernel):
+    """One sender, one receiver with a recv timeout; returns the pids."""
+
+    def receiver(ctx):
+        msg = yield ctx.recv(timeout=1.0)
+        return "timeout" if msg is TIMEOUT else msg.data
+
+    def sender(ctx, dst):
+        yield ctx.send(dst, "payload")
+        return "sent"
+
+    rpid = kernel.spawn(receiver)
+    kernel.spawn(sender, rpid)
+    return rpid
+
+
+class TestMessageFaults:
+    def test_dropped_message_times_out_receiver(self):
+        k = Kernel(
+            cpus=4,
+            trace=True,
+            fault_plan=FaultPlan(seed=0, rates={FaultKind.MSG_DROP: 1.0}),
+        )
+        rpid = _chat(k)
+        k.run()
+        assert k.result_of(rpid) == "timeout"
+        assert any(f["kind"] == "msg-drop" for f in k.faults_injected)
+        assert any(e.kind == "fault-msg-drop" for e in k.trace.events)
+
+    def test_quiet_plan_delivers_normally(self):
+        k = Kernel(cpus=4, fault_plan=FaultPlan.quiet())
+        rpid = _chat(k)
+        k.run()
+        assert k.result_of(rpid) == "payload"
+        assert k.faults_injected == []
+
+    def test_delayed_message_arrives_later(self):
+        plan = FaultPlan(
+            seed=0, rates={FaultKind.MSG_DELAY: 1.0}, msg_delay_s=0.5
+        )
+        k = Kernel(cpus=4, fault_plan=plan)
+
+        def receiver(ctx):
+            msg = yield ctx.recv(timeout=5.0)
+            return "timeout" if msg is TIMEOUT else msg.data
+
+        def sender(ctx, dst):
+            yield ctx.send(dst, "late")
+
+        rpid = k.spawn(receiver)
+        k.spawn(sender, rpid)
+        k.run()
+        assert k.result_of(rpid) == "late"  # delayed, not lost
+        delays = [f for f in k.faults_injected if f["kind"] == "msg-delay"]
+        assert delays and delays[0]["delay_s"] == 0.5
+        assert k.now >= 0.5  # virtual clock advanced through the delay
+
+    def test_delay_beyond_recv_timeout_behaves_as_loss(self):
+        plan = FaultPlan(
+            seed=0, rates={FaultKind.MSG_DELAY: 1.0}, msg_delay_s=2.0
+        )
+        k = Kernel(cpus=4, fault_plan=plan)
+        rpid = _chat(k)  # receiver waits only 1.0 virtual second
+        k.run()
+        assert k.result_of(rpid) == "timeout"
+
+    def test_drop_schedule_is_per_message_deterministic(self):
+        def run_once():
+            plan = FaultPlan(seed=7, rates={FaultKind.MSG_DROP: 0.4})
+            k = Kernel(cpus=4, fault_plan=plan)
+
+            def receiver(ctx):
+                got = []
+                for _ in range(10):
+                    msg = yield ctx.recv(timeout=1.0)
+                    got.append("lost" if msg is TIMEOUT else msg.data)
+                return got
+
+            def sender(ctx, dst):
+                for i in range(10):
+                    yield ctx.send(dst, i)
+                    yield ctx.compute(2.0)  # keep sends ahead of timeouts
+
+            rpid = k.spawn(receiver)
+            k.spawn(sender, rpid)
+            k.run()
+            return k.result_of(rpid), [f["msg_id"] for f in k.faults_injected]
+
+        first, second = run_once(), run_once()
+        assert first == second
+        received, dropped = first
+        assert "lost" in received and dropped  # the 40% rate really bit
+
+
+class TestComputeStalls:
+    def test_stall_extends_virtual_time(self):
+        def worker(ctx):
+            yield ctx.compute(1.0)
+            return "done"
+
+        base = Kernel(cpus=1, fault_plan=FaultPlan.quiet())
+        base.spawn(worker)
+        base.run()
+
+        stalled = Kernel(
+            cpus=1,
+            fault_plan=FaultPlan(seed=0, rates={FaultKind.STALL: 1.0}, stall_s=0.25),
+        )
+        stalled.spawn(worker)
+        stalled.run()
+        assert stalled.now > base.now
+        assert any(f["kind"] == "stall" for f in stalled.faults_injected)
+
+    def test_stall_does_not_change_results_or_log(self):
+        """Faults perturb timing, never the replay log's contents."""
+
+        def worker(ctx):
+            yield ctx.compute(0.5)
+            yield ctx.put("x", 9)
+            return (yield ctx.get("x"))
+
+        outs = []
+        for plan in (FaultPlan.quiet(), FaultPlan(seed=0, rates={FaultKind.STALL: 1.0})):
+            k = Kernel(cpus=2, fault_plan=plan)
+            pid = k.spawn(worker)
+            k.run()
+            outs.append(k.result_of(pid))
+        assert outs[0] == outs[1] == 9
+
+
+class TestSimBlocks:
+    def test_sim_block_outcome_deterministic_under_faults(self):
+        plan_kw = dict(seed=3, rates={FaultKind.STALL: 0.5}, stall_s=0.2)
+
+        def run_once():
+            out, kernel = run_alternatives_sim(
+                [
+                    Alternative(lambda ws: "fast", name="fast", sim_cost=1.0),
+                    Alternative(lambda ws: "slow", name="slow", sim_cost=3.0),
+                ],
+                fault_plan=FaultPlan(**plan_kw),
+            )
+            return out.winner.name, out.elapsed_s, kernel.faults_injected
+
+        first, second = run_once(), run_once()
+        assert first == second
+
+    def test_sim_faults_can_reorder_the_race(self):
+        """A stalled favourite loses: the schedule decides, reproducibly."""
+        alts = [
+            Alternative(lambda ws: "a", name="a", sim_cost=1.0),
+            Alternative(lambda ws: "b", name="b", sim_cost=1.1),
+        ]
+        quiet, _ = run_alternatives_sim(alts, fault_plan=FaultPlan.quiet())
+        assert quiet.winner.name == "a"
+        # stall everything by far more than the 0.1 cost gap: both stall,
+        # but per-(wid, op) streams mean the *amounts* differ by world —
+        # whichever wins, it must win identically every time
+        noisy_kw = dict(seed=1, rates={FaultKind.STALL: 1.0}, stall_s=5.0)
+        w1, _ = run_alternatives_sim(alts, fault_plan=FaultPlan(**noisy_kw))
+        w2, _ = run_alternatives_sim(alts, fault_plan=FaultPlan(**noisy_kw))
+        assert w1.winner.name == w2.winner.name

@@ -1,0 +1,182 @@
+"""FaultPlan: seeded, pure, order-independent fault decisions."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.faults.plan import (
+    CHILD_SITE,
+    COMPUTE_SITE,
+    KILL_SITE,
+    MESSAGE_SITE,
+    SITE_KINDS,
+    SPAWN_SITE,
+    FaultDecision,
+    FaultKind,
+    FaultPlan,
+)
+
+ALL_RATES = {kind: 0.25 for kind in FaultKind}
+
+
+def _full_schedule(plan, blocks=3, alts=4, attempts=3):
+    """Every child/spawn/kill decision for a grid of keys."""
+    out = []
+    for site in (CHILD_SITE, SPAWN_SITE, KILL_SITE):
+        for b in range(blocks):
+            for i in range(alts):
+                for a in range(attempts):
+                    out.append((site, b, i, a, plan.decide(site, b, i, a)))
+    for m in range(20):
+        out.append((MESSAGE_SITE, m, plan.decide(MESSAGE_SITE, m)))
+    for w in range(5):
+        for op in range(5):
+            out.append((COMPUTE_SITE, w, op, plan.decide(COMPUTE_SITE, w, op)))
+    return out
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=42, rates=dict(ALL_RATES))
+        b = FaultPlan(seed=42, rates=dict(ALL_RATES))
+        assert _full_schedule(a) == _full_schedule(b)
+        assert a.schedule(0, 8, attempts=3) == b.schedule(0, 8, attempts=3)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, rates=dict(ALL_RATES))
+        b = FaultPlan(seed=2, rates=dict(ALL_RATES))
+        assert _full_schedule(a) != _full_schedule(b)
+
+    def test_decide_is_pure(self):
+        plan = FaultPlan.crashes(seed=7, rate=0.5)
+        first = plan.decide(CHILD_SITE, 0, 3, 1)
+        for _ in range(5):
+            assert plan.decide(CHILD_SITE, 0, 3, 1) == first
+
+    def test_order_independent(self):
+        """Querying keys in a different order cannot perturb decisions."""
+        keys = [(b, i, a) for b in range(2) for i in range(4) for a in range(2)]
+        plan = FaultPlan(seed=9, rates=dict(ALL_RATES))
+        forward = {k: plan.decide(CHILD_SITE, *k) for k in keys}
+        backward = {k: plan.decide(CHILD_SITE, *k) for k in reversed(keys)}
+        assert forward == backward
+
+    def test_attempt_number_rerolls(self):
+        """Retries re-roll: the same child can be doomed then spared."""
+        plan = FaultPlan.crashes(seed=1, rate=0.6)
+        fired = {
+            (i, a): plan.decide(CHILD_SITE, 0, i, a).fires
+            for i in range(3)
+            for a in range(4)
+        }
+        assert any(fired[(i, 0)] and not fired[(i, 1)] for i in range(3))
+
+    def test_survives_pickle(self):
+        """A plan shipped to another process must decide identically."""
+        plan = FaultPlan(seed=13, rates=dict(ALL_RATES))
+        clone = pickle.loads(pickle.dumps(plan))
+        assert _full_schedule(clone) == _full_schedule(plan)
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+    def test_forked_child_computes_same_decision(self):
+        plan = FaultPlan(seed=5, rates=dict(ALL_RATES))
+        parent_view = plan.decide(CHILD_SITE, 0, 1, 0)
+        r, w = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child
+            os.close(r)
+            os.write(w, pickle.dumps(plan.decide(CHILD_SITE, 0, 1, 0)))
+            os.close(w)
+            os._exit(0)
+        os.close(w)
+        child_view = pickle.loads(os.read(r, 1 << 16))
+        os.close(r)
+        os.waitpid(pid, 0)
+        assert child_view == parent_view
+
+
+class TestDecisionProcedure:
+    def test_quiet_plan_never_fires(self):
+        plan = FaultPlan.quiet()
+        assert all(not d.fires for *_, d in _full_schedule(plan))
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(seed=0, rates={FaultKind.SPAWN_FAIL: 1.0})
+        for i in range(10):
+            assert plan.decide(SPAWN_SITE, 0, i, 0).kind is FaultKind.SPAWN_FAIL
+
+    def test_kinds_only_fire_at_their_site(self):
+        plan = FaultPlan(seed=3, rates=dict(ALL_RATES))
+        for site, kinds in SITE_KINDS.items():
+            for key in range(30):
+                d = plan.decide(site, key, 0, 0) if site in (
+                    CHILD_SITE, SPAWN_SITE, KILL_SITE
+                ) else plan.decide(site, key, 0)
+                if d.fires:
+                    assert d.kind in kinds
+
+    def test_enabling_extra_kind_does_not_reshuffle_earlier_ones(self):
+        """One uniform draw per kind, always: adding GUARD_EXCEPTION to the
+        plan cannot change which children CRASH (CRASH draws first)."""
+        only_crash = FaultPlan(seed=11, rates={FaultKind.CRASH: 0.3})
+        crash_plus = FaultPlan(
+            seed=11,
+            rates={FaultKind.CRASH: 0.3, FaultKind.GUARD_EXCEPTION: 0.3},
+        )
+        for i in range(40):
+            a = only_crash.decide(CHILD_SITE, 0, i, 0)
+            b = crash_plus.decide(CHILD_SITE, 0, i, 0)
+            if a.kind is FaultKind.CRASH:
+                assert b.kind is FaultKind.CRASH
+            if b.kind is FaultKind.CRASH:
+                assert a.kind is FaultKind.CRASH
+
+    def test_param_carries_the_right_knob(self):
+        plan = FaultPlan(
+            seed=0,
+            rates={FaultKind.HANG: 1.0},
+            hang_s=7.5,
+        )
+        d = plan.decide(CHILD_SITE, 0, 0, 0)
+        assert d.kind is FaultKind.HANG and d.param == 7.5
+        delay = FaultPlan(
+            seed=0, rates={FaultKind.MSG_DELAY: 1.0}, msg_delay_s=0.25
+        ).decide(MESSAGE_SITE, 4)
+        assert delay.kind is FaultKind.MSG_DELAY and delay.param == 0.25
+        stall = FaultPlan(
+            seed=0, rates={FaultKind.STALL: 1.0}, stall_s=0.125
+        ).decide(COMPUTE_SITE, 1, 2)
+        assert stall.kind is FaultKind.STALL and stall.param == 0.125
+
+    def test_decision_truthiness(self):
+        assert not FaultDecision()
+        assert not FaultDecision().fires
+        assert FaultDecision(FaultKind.CRASH)
+        assert FaultDecision(FaultKind.CRASH).fires
+
+
+class TestValidation:
+    def test_unknown_site_raises(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan.quiet().decide("disk", 0)
+
+    def test_rate_out_of_range_raises(self):
+        with pytest.raises(ValueError, match=r"in \[0, 1\]"):
+            FaultPlan(seed=0, rates={FaultKind.CRASH: 1.5})
+
+    def test_non_faultkind_rate_key_raises(self):
+        with pytest.raises(TypeError, match="FaultKind"):
+            FaultPlan(seed=0, rates={"crash": 0.5})
+
+    def test_crashes_classmethod(self):
+        plan = FaultPlan.crashes(seed=4, rate=0.3)
+        assert plan.rates == {FaultKind.CRASH: 0.3}
+        assert plan.seed == 4
+
+    def test_schedule_shape(self):
+        sched = FaultPlan.crashes(seed=0, rate=0.3).schedule(0, 4, attempts=2)
+        assert len(sched) == 8
+        assert {(i, a) for i, a, _ in sched} == {
+            (i, a) for a in range(2) for i in range(4)
+        }

@@ -1,0 +1,124 @@
+"""Injected faults on the thread backend: in-process analogues of the
+fork faults, plus the cooperative CancelToken contract."""
+
+import time
+
+import pytest
+
+from repro.core.policy import EliminationPolicy
+from repro.core.worlds import run_alternatives
+from repro.errors import SpawnError
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.runtime.thread_backend import CancelToken, run_alternatives_thread
+
+
+def _sleep_then(seconds, label):
+    def alt(ws):
+        time.sleep(seconds)
+        return label
+
+    alt.__name__ = label
+    return alt
+
+
+def _rate1(kind, **knobs):
+    return FaultPlan(seed=0, rates={kind: 1.0}, **knobs)
+
+
+def test_injected_crash_fails_the_worker():
+    out = run_alternatives_thread(
+        [_sleep_then(0.0, "only")], fault_plan=_rate1(FaultKind.CRASH)
+    )
+    assert out.failed
+    assert "injected crash-before-report" in out.losers[0].error
+    assert out.extras["injected_faults"][0]["kind"] == "crash-before-report"
+
+
+def test_injected_guard_exception():
+    out = run_alternatives_thread(
+        [_sleep_then(0.0, "only")], fault_plan=_rate1(FaultKind.GUARD_EXCEPTION)
+    )
+    assert out.failed
+    assert out.losers[0].guard_failed
+
+
+def test_injected_spawn_failure_raises():
+    with pytest.raises(SpawnError, match="thread-start"):
+        run_alternatives_thread(
+            [_sleep_then(5.0, "a")], fault_plan=_rate1(FaultKind.SPAWN_FAIL)
+        )
+
+
+def test_deterministic_crash_schedule_matches_fork_site():
+    """Thread and fork backends consult the same child-site decisions."""
+    plan = FaultPlan.crashes(seed=4, rate=0.3)  # dooms index 0 only
+    out = run_alternatives_thread(
+        [_sleep_then(0.0, "doomed"), _sleep_then(0.05, "backup")],
+        fault_plan=plan,
+    )
+    assert out.value == "backup"
+    assert [f["index"] for f in out.extras["injected_faults"]] == [0]
+
+
+class TestCancelToken:
+    def test_token_api(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+
+    def test_workspace_carries_token_and_winner_state_is_clean(self):
+        seen = {}
+
+        def observer(ws):
+            seen["token"] = ws.get("_cancel")
+            ws["out"] = 1
+            return "ok"
+
+        out = run_alternatives_thread([observer])
+        assert isinstance(seen["token"], CancelToken)
+        assert "_cancel" not in out.extras["state"]
+        assert out.extras["state"]["out"] == 1
+
+    def test_cooperative_loser_observes_cancellation(self):
+        witnessed = []
+
+        def cooperative(ws):
+            token = ws["_cancel"]
+            deadline = time.perf_counter() + 10.0
+            while not token.cancelled:
+                if time.perf_counter() > deadline:  # pragma: no cover
+                    return "never-cancelled"
+                time.sleep(0.005)
+            witnessed.append(True)
+            raise RuntimeError("cancelled")  # loser bows out
+
+        out = run_alternatives_thread(
+            [cooperative, _sleep_then(0.05, "fast")],
+            elimination=EliminationPolicy.SYNCHRONOUS,
+        )
+        assert out.value == "fast"
+        assert witnessed == [True]
+        # synchronous elimination joined the cooperating loser out
+        assert out.extras["uncollected"] == 0
+        assert out.extras["elimination_policy"] == "sync"
+
+
+class TestEliminationParameter:
+    def test_asynchronous_leaves_oblivious_losers_running(self):
+        out = run_alternatives_thread(
+            [_sleep_then(0.02, "fast"), _sleep_then(1.0, "oblivious")],
+            elimination=EliminationPolicy.ASYNCHRONOUS,
+        )
+        assert out.value == "fast"
+        assert out.extras["uncollected"] == 1
+        assert out.extras["elimination_policy"] == "async"
+
+    def test_elimination_threads_through_run_alternatives(self):
+        out = run_alternatives(
+            [_sleep_then(0.02, "fast"), _sleep_then(0.3, "slow")],
+            backend="thread",
+            elimination=EliminationPolicy.SYNCHRONOUS,
+        )
+        assert out.value == "fast"
+        assert out.extras["elimination_policy"] == "sync"

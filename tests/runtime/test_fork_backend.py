@@ -206,6 +206,81 @@ def test_unpicklable_result_is_a_clean_failure():
     assert "not picklable" in out.losers[0].error
 
 
+def test_timeout_no_winner_losers_labeled_timeout_killed():
+    out = run_alternatives(
+        [_sleep_then(30.0, "s0"), _sleep_then(30.0, "s1")],
+        timeout=0.2,
+        backend="fork",
+    )
+    assert out.timed_out and out.failed
+    assert [l.error for l in out.losers] == ["timeout-killed", "timeout-killed"]
+    assert all(l.elapsed_s > 0 for l in out.losers)
+
+
+def test_losers_after_winner_labeled_eliminated():
+    out = run_alternatives(
+        [_sleep_then(0.02, "fast"), _sleep_then(30.0, "slow")], backend="fork"
+    )
+    assert out.value == "fast"
+    slow = next(l for l in out.losers if l.name == "slow")
+    assert slow.error == "eliminated"
+    assert slow.elapsed_s > 0
+
+
+def test_all_alternatives_skipped_by_pre_spawn_guards():
+    def never_runs(ws):  # pragma: no cover - must not execute
+        raise AssertionError("spawned despite BEFORE_SPAWN rejection")
+
+    alts = [
+        Alternative(
+            never_runs,
+            name=f"alt{i}",
+            guard=Guard(check=lambda ws: False, placement=GuardPlacement.BEFORE_SPAWN),
+        )
+        for i in range(3)
+    ]
+    out = run_alternatives(alts, backend="fork")
+    assert out.failed and not out.timed_out
+    assert len(out.losers) == 3
+    assert all(l.error == "guard rejected before spawn" for l in out.losers)
+    with pytest.raises(ChildProcessError):
+        os.waitpid(-1, os.WNOHANG)  # nothing was ever forked
+
+
+class TestEncodeReport:
+    """Unit tests for the child-side report sanitizer."""
+
+    def _roundtrip(self, payload):
+        import pickle
+
+        from repro.runtime.fork_backend import _encode_report
+
+        return pickle.loads(_encode_report(payload))
+
+    def test_picklable_payload_passes_through(self):
+        payload = ("ok", 42, {"x": [1, 2], "y": "z"})
+        assert self._roundtrip(payload) == payload
+
+    def test_unpicklable_workspace_entries_dropped_and_listed(self):
+        status, value, ws = self._roundtrip(
+            ("ok", 7, {"f": lambda x: x, "g": open(os.devnull), "n": 5})
+        )
+        assert (status, value) == ("ok", 7)
+        assert ws["n"] == 5
+        assert ws["_unpicklable"] == ["f", "g"]
+        assert "f" not in ws and "g" not in ws
+
+    def test_unpicklable_value_becomes_clean_failure(self):
+        status, reason = self._roundtrip(("ok", lambda: None, {}))
+        assert status == "fail"
+        assert "not picklable" in reason
+
+    def test_unserializable_failure_report_degrades_gracefully(self):
+        status, reason = self._roundtrip(("fail", lambda: None))
+        assert status == "fail"
+        assert reason == "unserializable failure report"
+
+
 def test_genuine_parallelism_across_cpus():
     if (os.cpu_count() or 1) < 2:
         pytest.skip("needs >= 2 CPUs")

@@ -1,0 +1,81 @@
+"""Tests for the sequential (degraded) execution backend."""
+
+import time
+
+from repro.core.alternative import Alternative, Guard
+from repro.core.worlds import run_alternatives
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.runtime.sequential_backend import run_alternatives_sequential
+
+
+def _ret(value, label):
+    def alt(ws):
+        ws["by"] = label
+        return value
+
+    alt.__name__ = label
+    return alt
+
+
+def test_first_accepted_wins_in_order():
+    out = run_alternatives_sequential([_ret(1, "first"), _ret(2, "second")])
+    assert out.value == 1
+    assert out.winner.index == 0
+    assert out.extras["state"]["by"] == "first"
+    assert out.extras["sequential"] is True
+
+
+def test_failed_prefix_falls_through():
+    def bad(ws):
+        raise ValueError("nope")
+
+    guarded = Alternative(_ret(7, "guarded"), guard=Guard(check=lambda ws: False))
+    out = run_alternatives_sequential([bad, guarded, _ret(3, "good")])
+    assert out.value == 3
+    assert len(out.losers) == 2
+    assert any(l.guard_failed for l in out.losers)
+
+
+def test_workspace_isolation_between_attempts():
+    def polluter(ws):
+        ws["shared"].append("dirt")
+        raise RuntimeError("after the damage")
+
+    def reader(ws):
+        return list(ws["shared"])
+
+    out = run_alternatives_sequential(
+        [polluter, reader], initial={"shared": ["clean"]}
+    )
+    assert out.value == ["clean"]  # polluter's write never leaked
+
+
+def test_timeout_between_alternatives():
+    def slow(ws):
+        time.sleep(0.2)
+        raise RuntimeError("fail after burning the budget")
+
+    out = run_alternatives_sequential([slow, _ret(1, "late")], timeout=0.05)
+    assert out.failed and out.timed_out
+    assert any(l.error == "timeout-killed" for l in out.losers)
+
+
+def test_injected_crash_skips_alternative():
+    plan = FaultPlan(seed=0, rates={FaultKind.CRASH: 1.0})
+    out = run_alternatives_sequential([_ret(1, "a"), _ret(2, "b")], fault_plan=plan)
+    assert out.failed
+    assert all("injected" in l.error for l in out.losers)
+
+
+def test_injected_hang_is_skipped_not_executed():
+    plan = FaultPlan(seed=0, rates={FaultKind.HANG: 1.0}, hang_s=30.0)
+    t0 = time.perf_counter()
+    out = run_alternatives_sequential([_ret(1, "a")], fault_plan=plan)
+    assert time.perf_counter() - t0 < 1.0  # the hang was recorded, not slept
+    assert out.failed
+    assert "cannot hang" in out.losers[0].error
+
+
+def test_reachable_through_run_alternatives():
+    out = run_alternatives([_ret(5, "only")], backend="sequential")
+    assert out.value == 5
