@@ -1,0 +1,153 @@
+"""Network robustness bench: completion and added latency vs link loss.
+
+Sweeps the link's transfer-failure probability and, for each rate, runs
+real remote forks (checkpoint -> ship over the fault-injected link ->
+restart in a forked child) across a batch of seeds. Reported per rate:
+
+- completion fraction (every task must commit — by retries or by the
+  local fallback; losing work is not an acceptable outcome);
+- how the commits split between first-try, retried, and fallen-back;
+- mean protocol attempts and the added *virtual* latency the
+  unreliability cost (failed attempts, duplicate copies, backoff pauses)
+  on top of the rate-0 baseline transfer.
+
+A second table gives the same treatment to leased remote worlds: node
+crash probability vs how often the lease machinery re-lands the work
+locally, and what the detection (heartbeat misses -> probe ->
+declare-dead) costs in beats.
+
+Run standalone with ``--quick`` for the CI smoke (a trimmed sweep that
+still exercises every code path), or under pytest-benchmark for the
+full tables.
+"""
+
+import sys
+
+from _harness import report, table
+from repro.analysis.calibration import NetworkProfile
+from repro.distrib.netsim import SimulatedLink
+from repro.distrib.rfork import RemoteFork
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.supervisor import Supervisor
+
+#: A fast link so wall-clock stays bench-friendly; the virtual-time
+#: accounting is what the tables report.
+LINK_PROFILE = NetworkProfile("bench-lan", latency_s=0.002, bandwidth_bytes_s=1e7)
+
+RATES = (0.0, 0.1, 0.3, 0.5, 0.7)
+SEEDS = range(8)
+QUICK_RATES = (0.0, 0.3, 0.7)
+QUICK_SEEDS = range(3)
+
+
+def _task(state):
+    return state["x"] * 2
+
+
+def _make_rfork(rate, seed):
+    plan = FaultPlan(seed=seed, rates={FaultKind.XFER_DROP: rate})
+    link = SimulatedLink(LINK_PROFILE, fault_plan=plan, seed=seed)
+    return RemoteFork(link=link)
+
+
+def sweep_link_loss(rates=RATES, seeds=SEEDS):
+    """Completion + latency vs drop probability, with the path breakdown."""
+    rows = []
+    for rate in rates:
+        done = first_try = retried = fell_back = 0
+        attempts = 0
+        virtual_s = 0.0
+        for seed in seeds:
+            rfork = _make_rfork(rate, seed)
+            result, cost = rfork.execute(_task, {"x": 21}, name=f"bench-{seed}")
+            report_ = rfork.last_report
+            done += result == 42
+            attempts += report_["attempts"]
+            virtual_s += rfork.link.clock
+            if report_["fallback"] == "local":
+                fell_back += 1
+            elif report_["retries"]:
+                retried += 1
+            else:
+                first_try += 1
+        n = len(seeds)
+        rows.append((rate, done / n, first_try, retried, fell_back,
+                     attempts / n, virtual_s / n))
+    # added latency is relative to the clean-link baseline
+    base = rows[0][6]
+    return [r[:6] + (r[6] - base,) for r in rows]
+
+
+def sweep_remote_crash(rates=RATES, seeds=SEEDS):
+    """Leased remote worlds: crash probability vs re-landing behaviour."""
+    rows = []
+    for rate in rates:
+        done = relanded = 0
+        beats_missed = 0
+        for seed in seeds:
+            plan = FaultPlan(seed=seed, rates={FaultKind.REMOTE_CRASH: rate})
+            link = SimulatedLink(LINK_PROFILE, fault_plan=plan, seed=seed)
+            rfork = RemoteFork(link=link)
+            sup = Supervisor(fault_plan=plan)
+            outcome = sup.run_remote(
+                _task, {"x": 21}, rfork=rfork, work_s=1.0,
+                local_backend="sequential",
+            )
+            done += outcome.winner is not None and outcome.winner.value == 42
+            relanded += outcome.relanded
+            beats_missed += outcome.extras["remote"].get("beats_missed", 0)
+        n = len(seeds)
+        rows.append((rate, done / n, relanded / n, beats_missed / n))
+    return rows
+
+
+LINK_HEADERS = (
+    "drop rate", "completed", "first-try", "retried", "fallback",
+    "mean attempts", "added latency (s)",
+)
+CRASH_HEADERS = ("crash rate", "completed", "relanded", "mean beats missed")
+
+
+def _check_link_rows(rows):
+    by_rate = {r[0]: r for r in rows}
+    for rate, completed, *_ in rows:
+        assert completed == 1.0, f"lost work at drop rate {rate}"
+    assert by_rate[0.0][3] == 0 and by_rate[0.0][4] == 0  # clean link: no retries
+    assert abs(by_rate[0.0][6]) < 1e-12  # and no added latency
+    top = max(rows, key=lambda r: r[0])
+    assert top[3] + top[4] > 0  # heavy loss genuinely exercised the protocol
+    assert top[6] > 0  # and unreliability had a visible price
+
+
+def _check_crash_rows(rows):
+    by_rate = {r[0]: r for r in rows}
+    for rate, completed, *_ in rows:
+        assert completed == 1.0, f"lost work at crash rate {rate}"
+    assert by_rate[0.0][2] == 0.0  # no crash, no re-landing
+    top = max(rows, key=lambda r: r[0])
+    assert top[2] > 0  # crashes really re-land work locally
+
+
+def test_completion_vs_link_loss(benchmark):
+    rows = benchmark.pedantic(sweep_link_loss, iterations=1, rounds=1)
+    report("robustness_network_link", table(LINK_HEADERS, rows, fmt="8.3f"))
+    _check_link_rows(rows)
+
+
+def test_lease_recovery_vs_crash_rate(benchmark):
+    rows = benchmark.pedantic(sweep_remote_crash, iterations=1, rounds=1)
+    report("robustness_network_lease", table(CRASH_HEADERS, rows, fmt="8.3f"))
+    _check_crash_rows(rows)
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    rates = QUICK_RATES if quick else RATES
+    seeds = QUICK_SEEDS if quick else SEEDS
+    link_rows = sweep_link_loss(rates, seeds)
+    print(table(LINK_HEADERS, link_rows, fmt="8.3f"))
+    _check_link_rows(link_rows)
+    crash_rows = sweep_remote_crash(rates, seeds)
+    print(table(CRASH_HEADERS, crash_rows, fmt="8.3f"))
+    _check_crash_rows(crash_rows)
+    print("ok")

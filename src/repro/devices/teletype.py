@@ -3,6 +3,15 @@
 Writes are immediately visible on :attr:`output` (observable side effect);
 reads consume from a scripted input stream and cannot be retried. The
 kernel refuses (or blocks) predicated processes that try to touch it.
+
+Reading *past* the scripted input is an error, not an empty string: a
+silent ``b""`` let a predicated caller mistake "the script ran out" for
+real terminal data, and the two are observably different once worlds
+replay. :meth:`read` raises :class:`~repro.errors.InputExhausted`
+instead; the kernel rethrows it inside the reading program (which may
+catch it, treat it as EOF, and carry on). Construct with
+``exhausted="empty"`` to restore the legacy behaviour for scripts that
+genuinely want EOF-as-empty.
 """
 
 from __future__ import annotations
@@ -10,15 +19,24 @@ from __future__ import annotations
 from typing import Any
 
 from repro.devices.device import SourceDevice
+from repro.errors import InputExhausted
 
 
 class Teletype(SourceDevice):
     """A scripted-input, visible-output terminal."""
 
-    def __init__(self, name: str = "tty", input_script: bytes = b"") -> None:
+    def __init__(
+        self,
+        name: str = "tty",
+        input_script: bytes = b"",
+        exhausted: str = "raise",
+    ) -> None:
         super().__init__(name)
+        if exhausted not in ("raise", "empty"):
+            raise ValueError(f"unknown exhausted policy {exhausted!r}")
         self._input = bytearray(input_script)
         self._read_pos = 0
+        self.exhausted = exhausted
         self.output = bytearray()
         self.reads = 0
         self.writes = 0
@@ -28,9 +46,19 @@ class Teletype(SourceDevice):
         self._input.extend(data)
 
     def read(self, nbytes: int, **kwargs: Any) -> bytes:
-        """Consume up to ``nbytes`` of input; destructive, non-retryable."""
+        """Consume up to ``nbytes`` of input; destructive, non-retryable.
+
+        A partial tail is still returned; a read with *nothing* left
+        raises :class:`~repro.errors.InputExhausted` (unless constructed
+        with ``exhausted="empty"``).
+        """
         self.reads += 1
         chunk = bytes(self._input[self._read_pos : self._read_pos + nbytes])
+        if not chunk and nbytes > 0 and self.exhausted == "raise":
+            raise InputExhausted(
+                f"teletype {self.name!r} read past its scripted input "
+                f"({self._read_pos} bytes consumed)"
+            )
         self._read_pos += len(chunk)
         return chunk
 

@@ -7,16 +7,40 @@ second of checkpoint work, with network delays pushing the observed
 average to ~1.3 s.
 
 - :mod:`repro.distrib.netsim` — latency/bandwidth link models with
-  transfer accounting.
+  transfer accounting and deterministic fault injection (drops,
+  duplicates, reordering, corruption, flap/partition windows).
+- :mod:`repro.distrib.retry` — bounded retries with exponential backoff
+  and deterministic jitter, shared by every link consumer.
 - :mod:`repro.distrib.rfork` — remote fork: checkpoint + ship + restart,
-  in both a calibrated-1989 cost model and a real local measurement mode.
+  in both a calibrated-1989 cost model and a real local measurement
+  mode, hardened into an at-least-once protocol with idempotent apply
+  and local fallback.
+- :mod:`repro.distrib.netstore` — network-attached single-level store
+  and demand paging, with CRC-verified, idempotent transfers.
 - :mod:`repro.distrib.migration` — migrating a simulated process between
-  two simulation kernels by checkpoint/replay.
+  two simulation kernels; the source keeps the process until the target
+  acks.
+- :mod:`repro.distrib.lease` — leases + heartbeats for remote worlds,
+  the failure detector behind the remote→local degradation chain.
 """
 
-from repro.distrib.netsim import SimulatedLink, TransferRecord
+from repro.distrib.netsim import (
+    Delivery,
+    LinkFaultEvent,
+    SimulatedLink,
+    TransferRecord,
+    corrupt_payload,
+)
+from repro.distrib.retry import RetryPolicy, RetryStats, call_with_retries
 from repro.distrib.rfork import RemoteFork, RforkCost
-from repro.distrib.migration import migrate_process
+from repro.distrib.migration import MigrationRecord, migrate_process
+from repro.distrib.lease import (
+    LeaseEvent,
+    LeaseState,
+    RemoteNode,
+    RemoteWorldLease,
+    heartbeat_lost,
+)
 from repro.distrib.netstore import (
     DemandPagedImage,
     DemandPagedReader,
@@ -25,11 +49,23 @@ from repro.distrib.netstore import (
 )
 
 __all__ = [
+    "Delivery",
+    "LinkFaultEvent",
     "SimulatedLink",
     "TransferRecord",
+    "corrupt_payload",
+    "RetryPolicy",
+    "RetryStats",
+    "call_with_retries",
     "RemoteFork",
     "RforkCost",
+    "MigrationRecord",
     "migrate_process",
+    "LeaseEvent",
+    "LeaseState",
+    "RemoteNode",
+    "RemoteWorldLease",
+    "heartbeat_lost",
     "NetworkStore",
     "DemandPagedImage",
     "DemandPagedReader",

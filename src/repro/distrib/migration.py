@@ -11,6 +11,15 @@ Restrictions (checked): the process must be unpredicated (migrating a
 speculative world would tear it out of its resolution web), have exactly
 one live world, be parked in ``recv`` (the natural quiescent point of a
 server process), and have no live alternative children.
+
+On an unreliable link the protocol is conservative: the image ship and
+the target's acknowledgement both retry under a
+:class:`~repro.distrib.retry.RetryPolicy`, and the source kernel keeps
+the process — completely untouched — until the ack lands. A link that
+dies mid-ship (or swallows every ack) aborts the migration with
+:class:`~repro.errors.NetworkError`: nothing was registered on the
+target, nothing was torn down on the source, and the caller may simply
+retry later.
 """
 
 from __future__ import annotations
@@ -19,10 +28,14 @@ import pickle
 from dataclasses import dataclass
 
 from repro.distrib.netsim import SimulatedLink
-from repro.errors import CheckpointError
+from repro.distrib.retry import RetryPolicy, call_with_retries
+from repro.errors import CheckpointError, NetworkError, RetriesExhausted
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import ProcState, SimProcess
 from repro.memory.heap import PagedHeap
+
+#: The ack is a tiny fixed-size frame (dst pid + status), not the image.
+_ACK_BYTES = 64
 
 
 @dataclass(frozen=True)
@@ -34,6 +47,8 @@ class MigrationRecord:
     image_bytes: int
     transfer_s: float
     queued_messages: int
+    retries: int = 0
+    backoff_s: float = 0.0
 
 
 def _image_size(world: SimProcess) -> int:
@@ -51,12 +66,15 @@ def migrate_process(
     pid: int,
     dst: Kernel,
     link: SimulatedLink | None = None,
+    retry: RetryPolicy | None = None,
 ) -> MigrationRecord:
     """Move process ``pid`` from kernel ``src`` to kernel ``dst``.
 
     Returns a :class:`MigrationRecord`; the process continues on ``dst``
     under a new pid, blocked at the same ``recv`` with its queued
-    messages carried along.
+    messages carried along. If the link dies mid-ship or never delivers
+    the target's ack, raises :class:`~repro.errors.NetworkError` with
+    both kernels unchanged (the source keeps the process).
     """
     live = [w for w in src.worlds_of(pid) if w.alive]
     if len(live) != 1:
@@ -78,7 +96,32 @@ def migrate_process(
                 )
 
     image_bytes = _image_size(world)
-    transfer_s = link.transfer(image_bytes) if link is not None else 0.0
+    transfer_s = 0.0
+    retries = 0
+    backoff_s = 0.0
+    if link is not None:
+        policy = retry if retry is not None else RetryPolicy()
+        before = link.busy_seconds
+        try:
+            # phase 1: ship the image; phase 2: the target acks receipt.
+            # Only after the ack does either kernel mutate — a dead link
+            # aborts here with the process still owned by the source.
+            _, ship_stats = call_with_retries(
+                lambda attempt: link.transfer(image_bytes, attempt=attempt),
+                policy=policy, token=f"migrate:{pid}:image", link=link,
+            )
+            _, ack_stats = call_with_retries(
+                lambda attempt: link.transfer(_ACK_BYTES, attempt=attempt),
+                policy=policy, token=f"migrate:{pid}:ack", link=link,
+            )
+        except RetriesExhausted as exc:
+            raise NetworkError(
+                f"migration of pid {pid} aborted, link died mid-ship: {exc} "
+                "(source kernel keeps the process)"
+            ) from exc
+        retries = ship_stats.retries + ack_stats.retries
+        backoff_s = ship_stats.backoff_s + ack_stats.backoff_s
+        transfer_s = (link.busy_seconds - before) + backoff_s
 
     # reconstruct on the destination machine
     new_pid = dst._pids.next()
@@ -125,4 +168,6 @@ def migrate_process(
         image_bytes=image_bytes,
         transfer_s=transfer_s,
         queued_messages=len(queued),
+        retries=retries,
+        backoff_s=backoff_s,
     )

@@ -18,10 +18,12 @@ reduce copying, while "more sophisticated migration schemes, using
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 
 from repro.distrib.netsim import SimulatedLink
-from repro.errors import NetworkError
+from repro.distrib.retry import RetryPolicy, call_with_retries
+from repro.errors import NetworkError, TransferCorrupted
 from repro.memory.store import SingleLevelStore
 
 
@@ -31,28 +33,86 @@ class NetworkStore:
     All times are accounted on the link (and returned per call); file
     content lives in the wrapped local store, which stands in for the
     server.
+
+    On an unreliable link (one carrying a fault plan) every operation is
+    an at-least-once exchange: payloads are CRC-checked end to end (a
+    corrupted delivery is retried, never applied), uploads carry an
+    idempotency token so a duplicated or re-sent write lands exactly
+    once, and drops/partitions retry under ``retry`` with deterministic
+    backoff. ``stats`` accumulates what unreliability actually cost.
     """
 
-    def __init__(self, store: SingleLevelStore, link: SimulatedLink) -> None:
+    def __init__(
+        self,
+        store: SingleLevelStore,
+        link: SimulatedLink,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.store = store
         self.link = link
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._applied_tokens: set[str] = set()
+        self.stats = {
+            "retries": 0,
+            "backoff_s": 0.0,
+            "corrupt_rejected": 0,
+            "duplicates_suppressed": 0,
+        }
 
     @property
     def page_size(self) -> int:
         return self.store.page_size
 
+    # -- the at-least-once exchange -----------------------------------------
+    def _exchange(self, payload: bytes, token: str) -> tuple[bytes, float]:
+        """Ship ``payload`` with retries; returns (verified bytes, seconds).
+
+        Seconds include every failed attempt, duplicate copy and backoff
+        pause — the caller-visible price of the unreliable link.
+        """
+        expect = zlib.crc32(payload)
+        before = self.link.busy_seconds
+
+        def once(attempt: int) -> bytes:
+            delivery = self.link.ship(payload, attempt=attempt)
+            if delivery.copies > 1:
+                self.stats["duplicates_suppressed"] += delivery.copies - 1
+            if zlib.crc32(delivery.payload) != expect:
+                self.stats["corrupt_rejected"] += 1
+                raise TransferCorrupted(
+                    f"{token}: delivered payload fails checksum"
+                )
+            return delivery.payload
+
+        data, stats = call_with_retries(
+            once, policy=self.retry, token=token, link=self.link
+        )
+        self.stats["retries"] += stats.retries
+        self.stats["backoff_s"] += stats.backoff_s
+        return data, (self.link.busy_seconds - before) + stats.backoff_s
+
     # -- whole files --------------------------------------------------------
     def write_file(self, name: str, data: bytes) -> float:
-        """Upload a file; returns the transfer seconds charged."""
-        seconds = self.link.transfer(len(data))
-        self.store.write_file(name, data)
+        """Upload a file; returns the transfer seconds charged.
+
+        Applies at most once per (name, content): a duplicate delivery or
+        a redundant re-send of bytes the server already holds is charged
+        on the wire but not re-applied to the store.
+        """
+        token = f"put:{name}:{zlib.crc32(data):08x}"
+        _, seconds = self._exchange(data, token)
+        if token in self._applied_tokens:
+            self.stats["duplicates_suppressed"] += 1
+        else:
+            self.store.write_file(name, data)
+            self._applied_tokens.add(token)
         return seconds
 
     def read_file(self, name: str) -> tuple[bytes, float]:
         """Download a whole file; returns (data, seconds)."""
         data = self.store.read_file(name)
-        seconds = self.link.transfer(len(data))
-        return data, seconds
+        verified, seconds = self._exchange(data, f"get:{name}")
+        return verified, seconds
 
     # -- page-granular access ---------------------------------------------------
     def read_page(self, name: str, page_index: int) -> tuple[bytes, float]:
@@ -64,7 +124,9 @@ class NetworkStore:
             )
         start = page_index * self.page_size
         data = self.store.read_file(name)[start : start + self.page_size]
-        seconds = self.link.transfer(max(len(data), 1))
+        verified, seconds = self._exchange(
+            data if data else b"\x00", f"page:{name}:{page_index}"
+        )
         return data, seconds
 
     def pages_of(self, name: str) -> int:

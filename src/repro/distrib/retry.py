@@ -1,0 +1,108 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+Every distributed consumer (rfork, network store, migration) faces the
+same loop: try a link operation, classify the failure, back off, try
+again, give up after a bounded number of attempts. :func:`call_with_retries`
+is that loop, once.
+
+Jitter is deterministic: it derives from the CRC of the operation's
+idempotency token and the attempt number, not from a shared RNG, so two
+runs of the same seeded scenario back off identically (the property the
+determinism tests assert) while distinct operations still decorrelate.
+
+Backoff consumes *link* time via :meth:`SimulatedLink.wait` — that is
+what eventually walks a retry out of a partition window — and is
+reported in the stats so callers can account "added latency due to
+unreliability" separately from nominal transfer time.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RetriesExhausted, TransferError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try: bounded attempts, exponential backoff, jitter."""
+
+    max_retries: int = 4
+    base_backoff_s: float = 0.01
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.5  # extra backoff fraction in [0, jitter]
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def backoff_s(self, attempt: int, token: str = "") -> float:
+        """Backoff before retry ``attempt`` (1-based), deterministic in token."""
+        base = min(
+            self.base_backoff_s * self.multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        frac = (zlib.crc32(f"{token}:{attempt}".encode()) % 1000) / 999.0
+        return base * (1.0 + self.jitter * frac)
+
+
+@dataclass
+class RetryStats:
+    """What one retried operation cost beyond the happy path."""
+
+    attempts: int = 0
+    retries: int = 0
+    backoff_s: float = 0.0
+    faults: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "backoff_s": self.backoff_s,
+            "faults": list(self.faults),
+        }
+
+
+def call_with_retries(
+    op: Callable[[int], Any],
+    *,
+    policy: RetryPolicy,
+    token: str = "",
+    link=None,
+    retry_on: tuple[type[BaseException], ...] = (TransferError,),
+) -> tuple[Any, RetryStats]:
+    """Run ``op(attempt)`` until it succeeds or the policy is exhausted.
+
+    ``op`` receives the 0-based attempt number (it is part of every link
+    fault key, so each attempt genuinely re-rolls the dice). Failures in
+    ``retry_on`` trigger backoff — charged to ``link`` when one is given
+    — and a retry; anything else propagates immediately. After the last
+    attempt fails, raises :class:`~repro.errors.RetriesExhausted` chained
+    to the final failure.
+    """
+    stats = RetryStats()
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        stats.attempts = attempt + 1
+        try:
+            return op(attempt), stats
+        except retry_on as exc:
+            last = exc
+            stats.faults.append(type(exc).__name__)
+            if attempt + 1 >= policy.max_attempts:
+                break
+            stats.retries += 1
+            pause = policy.backoff_s(attempt + 1, token)
+            stats.backoff_s += pause
+            if link is not None:
+                link.wait(pause)
+    exhausted = RetriesExhausted(
+        f"{token or 'operation'} failed after {stats.attempts} attempts: {last}",
+        attempts=stats.attempts,
+    )
+    exhausted.stats = stats  # callers recover the full retry accounting
+    raise exhausted from last

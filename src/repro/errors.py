@@ -102,6 +102,52 @@ class NetworkError(ReproError):
     """Simulated-network failures."""
 
 
+class TransferError(NetworkError):
+    """Base class for per-transfer link failures (all retryable)."""
+
+
+class TransferDropped(TransferError):
+    """The payload was lost in flight; the sender times out waiting."""
+
+
+class LinkPartitioned(TransferError):
+    """The link is inside a deterministic flap/partition window."""
+
+
+class TransferCorrupted(TransferError):
+    """The receiver rejected a payload whose checksum did not match."""
+
+
+class RetriesExhausted(NetworkError):
+    """A bounded-retry loop gave up without a successful delivery.
+
+    ``__cause__`` carries the final attempt's failure; ``attempts`` the
+    total number of tries made.
+    """
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class LeaseExpired(NetworkError):
+    """A remote world's lease ran out (missed heartbeats / no renewal)."""
+
+
+class RemoteNodeDown(NetworkError):
+    """The remote node crashed mid-operation (injected or declared)."""
+
+
+class InputExhausted(ReproError):
+    """A source device was read past the end of its scripted input.
+
+    Raised by :class:`~repro.devices.teletype.Teletype` instead of the
+    old silent ``b""`` so a predicated caller cannot mistake "no more
+    script" for real data. The kernel rethrows it inside the reading
+    program.
+    """
+
+
 class PrologError(ReproError):
     """Errors from the mini-Prolog engine."""
 

@@ -21,8 +21,12 @@ same plan yields the same fault schedule on every run.
 from repro.faults.plan import (
     CHILD_SITE,
     COMPUTE_SITE,
+    HEARTBEAT_SITE,
     KILL_SITE,
+    LINK_SITE,
     MESSAGE_SITE,
+    PARTITION_SITE,
+    REMOTE_SITE,
     SITE_KINDS,
     SPAWN_SITE,
     FaultDecision,
@@ -34,8 +38,12 @@ from repro.faults.supervisor import Supervisor, run_supervised
 __all__ = [
     "CHILD_SITE",
     "COMPUTE_SITE",
+    "HEARTBEAT_SITE",
     "KILL_SITE",
+    "LINK_SITE",
     "MESSAGE_SITE",
+    "PARTITION_SITE",
+    "REMOTE_SITE",
     "SITE_KINDS",
     "SPAWN_SITE",
     "FaultDecision",

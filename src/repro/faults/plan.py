@@ -27,6 +27,15 @@ kill       KILL_FAIL (first signal to the child is lost; the backend must
 message    MSG_DROP, MSG_DELAY — keyed ``(msg_id,)`` (simulation kernel)
 compute    STALL (extra virtual seconds) — keyed ``(wid, op_number)``
            (simulation kernel)
+link       XFER_DROP, XFER_DUP, XFER_REORDER, XFER_CORRUPT, LINK_SLOW —
+           keyed ``(link_id, transfer_seq, attempt)`` (simulated network)
+partition  LINK_FLAP (the link is down for the first ``flap_s`` seconds
+           of the window) — keyed ``(link_id, window_index)`` where the
+           window index is ``floor(link_clock / partition_window_s)``
+remote     REMOTE_CRASH (the remote node dies partway through the shipped
+           work) — keyed ``(node_id, attempt)``
+heartbeat  HEARTBEAT_MISS (one lease heartbeat is lost in flight even
+           though the node is alive) — keyed ``(lease_id, beat_index)``
 ========== ==================================================================
 """
 
@@ -64,6 +73,23 @@ class FaultKind(str, enum.Enum):
     MSG_DELAY = "msg-delay"
     #: simulation kernel: a costed op takes ``stall_s`` extra virtual time
     STALL = "stall"
+    #: simulated link: the payload is lost; the sender times out
+    XFER_DROP = "transfer-drop"
+    #: simulated link: the payload is delivered twice (at-least-once wire)
+    XFER_DUP = "transfer-duplicate"
+    #: simulated link: this delivery arrives after the next one
+    XFER_REORDER = "transfer-reorder"
+    #: simulated link: one payload byte is flipped in flight
+    XFER_CORRUPT = "transfer-corrupt"
+    #: simulated link: the transfer takes ``slow_factor``× nominal time
+    LINK_SLOW = "link-slow"
+    #: simulated link: a flap window — the link is down for ``flap_s``
+    #: seconds at the start of the decided window
+    LINK_FLAP = "link-flap"
+    #: remote node: crashes after ``remote_crash_fraction`` of the work
+    REMOTE_CRASH = "remote-crash"
+    #: lease protocol: a heartbeat is lost even though the node is alive
+    HEARTBEAT_MISS = "heartbeat-miss"
 
 
 CHILD_SITE = "child"
@@ -71,6 +97,10 @@ SPAWN_SITE = "spawn"
 KILL_SITE = "kill"
 MESSAGE_SITE = "message"
 COMPUTE_SITE = "compute"
+LINK_SITE = "link"
+PARTITION_SITE = "partition"
+REMOTE_SITE = "remote"
+HEARTBEAT_SITE = "heartbeat"
 
 #: Which kinds may fire at each site, in trial order (first hit wins).
 SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
@@ -86,6 +116,16 @@ SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
     KILL_SITE: (FaultKind.KILL_FAIL,),
     MESSAGE_SITE: (FaultKind.MSG_DROP, FaultKind.MSG_DELAY),
     COMPUTE_SITE: (FaultKind.STALL,),
+    LINK_SITE: (
+        FaultKind.XFER_DROP,
+        FaultKind.XFER_DUP,
+        FaultKind.XFER_REORDER,
+        FaultKind.XFER_CORRUPT,
+        FaultKind.LINK_SLOW,
+    ),
+    PARTITION_SITE: (FaultKind.LINK_FLAP,),
+    REMOTE_SITE: (FaultKind.REMOTE_CRASH,),
+    HEARTBEAT_SITE: (FaultKind.HEARTBEAT_MISS,),
 }
 
 
@@ -127,6 +167,10 @@ class FaultPlan:
     slow_start_s: float = 0.1
     msg_delay_s: float = 0.05
     stall_s: float = 0.01
+    slow_factor: float = 4.0
+    partition_window_s: float = 1.0
+    flap_s: float = 0.25
+    remote_crash_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         for kind, rate in self.rates.items():
@@ -150,6 +194,12 @@ class FaultPlan:
             return self.msg_delay_s
         if kind is FaultKind.STALL:
             return self.stall_s
+        if kind is FaultKind.LINK_SLOW:
+            return self.slow_factor
+        if kind is FaultKind.LINK_FLAP:
+            return self.flap_s
+        if kind is FaultKind.REMOTE_CRASH:
+            return self.remote_crash_fraction
         return 0.0
 
     # -- the decision procedure -------------------------------------------
@@ -189,10 +239,31 @@ class FaultPlan:
                 out.append((index, attempt, self.decide(CHILD_SITE, block_id, index, attempt)))
         return out
 
+    def link_down(self, link_id: int, at_s: float) -> bool:
+        """Whether ``link_id`` is inside a flap window at link time ``at_s``.
+
+        Time is carved into ``partition_window_s`` buckets; a window where
+        LINK_FLAP fires takes the link down for its first ``flap_s``
+        seconds. Pure in ``(seed, link_id, window_index)``, so both ends
+        of a link — and both runs of a test — agree on the outage
+        schedule.
+        """
+        if self.rates.get(FaultKind.LINK_FLAP, 0.0) <= 0.0:
+            return False
+        window = int(at_s / self.partition_window_s)
+        if not self.decide(PARTITION_SITE, link_id, window):
+            return False
+        return (at_s - window * self.partition_window_s) < self.flap_s
+
     @classmethod
     def crashes(cls, seed: int = 0, rate: float = 0.3, **knobs) -> "FaultPlan":
         """A plan that only injects child crashes (the common bench case)."""
         return cls(seed=seed, rates={FaultKind.CRASH: rate}, **knobs)
+
+    @classmethod
+    def lossy(cls, seed: int = 0, rate: float = 0.3, **knobs) -> "FaultPlan":
+        """A plan that only drops transfers (the common network bench case)."""
+        return cls(seed=seed, rates={FaultKind.XFER_DROP: rate}, **knobs)
 
     @classmethod
     def quiet(cls) -> "FaultPlan":

@@ -15,7 +15,14 @@ survival layer on top of :func:`repro.core.worlds.run_alternatives`:
 - **graceful degradation** — when spawning worlds *itself* fails
   (:class:`~repro.errors.SpawnError`, real or injected), the supervisor
   walks a backend fallback chain (``fork -> thread -> sequential``) and
-  records every hop in ``BlockOutcome.extras["degraded"]``.
+  records every hop in ``BlockOutcome.extras["degraded"]``;
+- **leased remote worlds** — :meth:`Supervisor.run_remote` ships a task
+  to a (simulated) remote node under a
+  :class:`~repro.distrib.lease.RemoteWorldLease` and watches its
+  heartbeats in virtual link time. Missed beats escalate
+  probe → declare-dead → reclaim-orphan; a dead or unreachable remote
+  re-lands the work locally through :meth:`run`, extending the
+  degradation ladder to ``remote -> fork -> thread -> sequential``.
 
 The supervisor is fault-plan aware only in that it threads the plan and
 an attempt counter through to the backends; the attempt number is part
@@ -208,6 +215,157 @@ class Supervisor:
         outcome.extras["backend"] = chain[0]
         if degraded:
             outcome.extras["degraded"] = degraded
+        return outcome
+
+    # ------------------------------------------------------------------
+    def run_remote(
+        self,
+        fn,
+        initial: dict[str, Any] | None = None,
+        *,
+        rfork=None,
+        work_s: float = 1.0,
+        lease=None,
+        name: str = "remote-world",
+        local_backend: str = "fork",
+    ) -> BlockOutcome:
+        """Run ``fn(state)`` on a leased remote world; re-land locally on death.
+
+        The protocol, all in deterministic virtual link time:
+
+        1. checkpoint the task and ship it over ``rfork.link`` with
+           bounded retries (drops, partitions and corrupt deliveries each
+           re-roll per attempt);
+        2. grant a :class:`~repro.distrib.lease.RemoteWorldLease` and
+           watch heartbeats every ``lease.heartbeat_s`` while the remote
+           works for ``work_s`` virtual seconds. A missed beat (lost in
+           flight, link flap, or node crash — all fault-plan sites) makes
+           the lease SUSPECT and triggers a probe; a successful probe
+           rescues it, ``miss_threshold`` consecutive misses or a full
+           term without renewal declare the holder dead;
+        3. a dead (or never-reachable) remote world is reclaimed and its
+           work re-landed locally via :meth:`run`, recording the hop in
+           ``extras["degraded"]`` — the remote rung of the
+           fork→thread→sequential ladder.
+
+        Returns a :class:`BlockOutcome` whose ``extras`` carry the lease
+        event log (``lease``), the remote protocol report (``remote``),
+        and ``relanded`` when local recovery ran.
+        """
+        from repro.core.outcome import AlternativeResult
+        from repro.distrib.lease import RemoteNode, RemoteWorldLease, heartbeat_lost
+        from repro.distrib.retry import call_with_retries
+        from repro.distrib.rfork import _RETRYABLE, RemoteFork
+        from repro.errors import RetriesExhausted
+        from repro.runtime.checkpoint import CheckpointImage
+
+        if rfork is None:
+            rfork = RemoteFork()
+        link = rfork.link
+        plan = link.fault_plan if link.fault_plan is not None else self.fault_plan
+        if lease is None:
+            lease = RemoteWorldLease(
+                lease_id=self.block_id, node_id=rfork.node_id,
+                granted_at_s=link.clock,
+            )
+        node = RemoteNode(node_id=lease.node_id, plan=plan)
+
+        t_wall = time.perf_counter()
+        state = dict(initial or {})
+        image = CheckpointImage.capture(fn, state, name)
+        blob = image.to_bytes()
+
+        def ship_once(attempt: int):
+            delivery = link.ship(blob, attempt=attempt)
+            return CheckpointImage.from_bytes(delivery.payload)
+
+        remote_report: dict[str, Any] = {
+            "node_id": lease.node_id, "lease_id": lease.lease_id,
+            "work_s": work_s, "image_bytes": len(blob),
+        }
+        dead_reason = None
+        restored = None
+        try:
+            restored, ship_stats = call_with_retries(
+                ship_once, policy=rfork.retry,
+                token=f"lease:{lease.lease_id}:ship", link=link,
+                retry_on=_RETRYABLE,
+            )
+            remote_report["ship"] = ship_stats.as_dict()
+        except RetriesExhausted as exc:
+            ship_stats = getattr(exc, "stats", None)
+            remote_report["ship"] = ship_stats.as_dict() if ship_stats else {}
+            lease.declare_dead(link.clock, f"unreachable: {exc}")
+            lease.reclaim(link.clock)
+            dead_reason = "remote-unreachable"
+
+        if restored is not None:
+            t0 = link.clock
+            done_at = t0 + work_s
+            crash_rel = node.crash_time(work_s, attempt=0)
+            crash_at = None if crash_rel is None else t0 + crash_rel
+            remote_report["crash_at_s"] = crash_at
+            beat = 0
+            while lease.alive:
+                beat += 1
+                now = t0 + beat * lease.heartbeat_s
+                node_alive = crash_at is None or now < crash_at
+                if node_alive and now >= done_at:
+                    lease.complete(done_at)
+                    break
+                lost = heartbeat_lost(plan, lease.lease_id, beat) or (
+                    plan is not None and plan.link_down(link.link_id, now)
+                )
+                if node_alive and not lost:
+                    lease.renew(now)
+                    continue
+                reason = "node crashed" if not node_alive else "beat lost in flight"
+                lease.miss(now, reason)
+                # probe: a deliberate synchronous liveness check. A live
+                # node behind a lost beat answers; a crashed one cannot.
+                if node_alive and not (plan is not None and plan.link_down(link.link_id, now)):
+                    lease.renew(now)
+                    lease.note(now, "probe-ok")
+                    continue
+                lease.note(now, "probe-fail", reason)
+                if (
+                    lease.consecutive_misses >= lease.miss_threshold
+                    or lease.check_expiry(now)
+                ):
+                    why = (
+                        "lease expired"
+                        if lease.check_expiry(now)
+                        else f"{lease.consecutive_misses} consecutive misses"
+                    )
+                    lease.declare_dead(now, f"{why} ({reason})")
+                    lease.reclaim(now)
+                    dead_reason = "lease-expired"
+            remote_report["beats_ok"] = lease.beats_ok
+            remote_report["beats_missed"] = lease.beats_missed
+
+        if dead_reason is None and restored is not None:
+            # the remote survived its lease: commit its result. The local
+            # restart stands in for the CPU we do not have on the far end.
+            result = restored.restart()
+            winner = AlternativeResult(
+                index=0, name=name, value=result, succeeded=True,
+                elapsed_s=work_s,
+            )
+            outcome = BlockOutcome(winner=winner, elapsed_s=time.perf_counter() - t_wall)
+        else:
+            # remote world is gone: re-land the work on the local ladder
+            outcome = self.run([fn], initial=state, backend=local_backend)
+            outcome.extras["relanded"] = True
+            outcome.extras.setdefault("degraded", []).insert(
+                0,
+                {"backend": "remote", "attempt": 0, "error": dead_reason},
+            )
+            outcome.elapsed_s = time.perf_counter() - t_wall
+        outcome.extras["lease"] = [
+            {"at_s": e.at_s, "event": e.event, "detail": e.detail}
+            for e in lease.events
+        ]
+        outcome.extras["remote"] = remote_report
         return outcome
 
 

@@ -45,6 +45,7 @@ from repro.devices.device import Device, SinkDevice
 from repro.devices.teletype import Teletype
 from repro.errors import (
     DeadlockError,
+    InputExhausted,
     InvalidSyscall,
     KernelError,
     ProcessDied,
@@ -168,6 +169,23 @@ def _plain_program(alt: Alternative) -> Callable:
 _INLINE = "inline"  # zero-cost op completed; continue the generator
 _PARKED = "parked"  # world parked (costed op queued, blocked, or dead)
 _THROW = "throw"  # raise this exception inside the program
+
+
+class _ExhaustedMarker:
+    """Replay-log sentinel: this DeviceRead raised InputExhausted.
+
+    Logged in place of a result so deterministic replay (migration,
+    world-splitting) rethrows the exhaustion at the same point instead
+    of feeding the program a value it never saw.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "INPUT_EXHAUSTED"
+
+
+#: The singleton logged for exhausted reads (module-level so pickled
+#: replay logs resolve it by reference).
+INPUT_EXHAUSTED = _ExhaustedMarker()
 
 
 class Kernel:
@@ -778,9 +796,21 @@ class Kernel:
         elif isinstance(op, sc.AltSpawn):
             self._complete_altspawn(world, op)
         elif isinstance(op, sc.DeviceRead):
-            result = self._do_device_read(world, op)
-            self._log(world, op, result)
-            self._advance(world, result)
+            try:
+                result = self._do_device_read(world, op)
+            except InputExhausted as exc:
+                # scripted input ran out: the program gets the exception
+                # (it may catch it as EOF); the log gets a sentinel so
+                # replay rethrows at the same point.
+                self._log(world, op, INPUT_EXHAUSTED)
+                self.trace.record(
+                    self.now, "input-exhausted", world.pid,
+                    wid=world.wid, device=op.device,
+                )
+                self._advance(world, None, throw=exc)
+            else:
+                self._log(world, op, result)
+                self._advance(world, result)
         elif isinstance(op, sc.DeviceWrite):
             result = self._do_device_write(world, op)
             self._log(world, op, result)
@@ -950,16 +980,28 @@ class Kernel:
         clone.gen = gen
         clone.started = True
         send_value = None
+        throw_next = False
         try:
             for kind, result in clone.log:
-                op = gen.send(send_value)
+                if throw_next:
+                    op = gen.throw(InputExhausted("replayed input exhaustion"))
+                    throw_next = False
+                else:
+                    op = gen.send(send_value)
                 if type(op).__name__ != kind:
                     raise KernelError(
                         f"replay divergence: expected {kind}, program yielded "
                         f"{type(op).__name__} (programs must be deterministic)"
                     )
-                send_value = result
-            op = gen.send(send_value)
+                if isinstance(result, _ExhaustedMarker):
+                    throw_next = True
+                    send_value = None
+                else:
+                    send_value = result
+            if throw_next:
+                op = gen.throw(InputExhausted("replayed input exhaustion"))
+            else:
+                op = gen.send(send_value)
         except StopIteration:
             raise KernelError("replay divergence: program finished early") from None
         if not isinstance(op, sc.Recv):

@@ -19,12 +19,18 @@ import os
 import pickle
 import struct
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import CheckpointError
 
-_MAGIC = b"MWCKPT1\n"
+#: Legacy wire format: magic + <Qd>(name_len, created_at) + name + payload.
+_MAGIC_V1 = b"MWCKPT1\n"
+#: Current wire format adds a CRC32 over name + payload so a corrupt or
+#: torn image is rejected *before* anything reaches ``pickle.loads``:
+#: magic + <QdI>(name_len, created_at, crc) + name + payload.
+_MAGIC = b"MWCKPT2\n"
 
 
 @dataclass
@@ -57,23 +63,64 @@ class CheckpointImage:
     # -- the "executable file" format -------------------------------------------
     def to_bytes(self) -> bytes:
         header = self.name.encode()
+        crc = zlib.crc32(header + self.payload)
         return (
             _MAGIC
-            + struct.pack("<Qd", len(header), self.created_at)
+            + struct.pack("<QdI", len(header), self.created_at, crc)
             + header
             + self.payload
         )
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CheckpointImage":
-        if not blob.startswith(_MAGIC):
+        """Parse a wire image, verifying structure and checksum.
+
+        Accepts the current (v2, CRC-verified) and legacy (v1, unverified)
+        formats. Every malformation — bad magic, truncated header, a
+        ``name_len`` pointing past the blob, a checksum mismatch from a
+        flipped byte or a torn tail — raises
+        :class:`~repro.errors.CheckpointError` without touching the
+        (pickled, therefore dangerous) payload.
+        """
+        if blob.startswith(_MAGIC):
+            head_fmt, verified = "<QdI", True
+            offset = len(_MAGIC)
+        elif blob.startswith(_MAGIC_V1):
+            head_fmt, verified = "<Qd", False
+            offset = len(_MAGIC_V1)
+        else:
             raise CheckpointError("not a checkpoint image (bad magic)")
-        offset = len(_MAGIC)
-        name_len, created_at = struct.unpack_from("<Qd", blob, offset)
-        offset += struct.calcsize("<Qd")
-        name = blob[offset : offset + name_len].decode()
-        payload = blob[offset + name_len :]
-        return cls(name=name, payload=bytes(payload), created_at=created_at)
+        head_size = struct.calcsize(head_fmt)
+        if len(blob) < offset + head_size:
+            raise CheckpointError(
+                f"truncated checkpoint header: {len(blob)} bytes, "
+                f"need at least {offset + head_size}"
+            )
+        try:
+            fields = struct.unpack_from(head_fmt, blob, offset)
+        except struct.error as exc:  # pragma: no cover - length checked above
+            raise CheckpointError(f"unreadable checkpoint header: {exc}") from exc
+        name_len, created_at = fields[0], fields[1]
+        offset += head_size
+        if name_len > len(blob) - offset:
+            raise CheckpointError(
+                f"corrupt checkpoint header: name_len={name_len} exceeds "
+                f"remaining {len(blob) - offset} bytes"
+            )
+        body = blob[offset:]
+        if verified:
+            crc = fields[2]
+            actual = zlib.crc32(body)
+            if actual != crc:
+                raise CheckpointError(
+                    f"checkpoint checksum mismatch: header says {crc:#010x}, "
+                    f"body is {actual:#010x} (corrupt or torn image)"
+                )
+        try:
+            name = body[:name_len].decode()
+        except UnicodeDecodeError as exc:
+            raise CheckpointError(f"corrupt checkpoint name: {exc}") from exc
+        return cls(name=name, payload=bytes(body[name_len:]), created_at=created_at)
 
     def write_file(self, path: str) -> int:
         blob = self.to_bytes()
@@ -125,19 +172,37 @@ class CheckpointImage:
             finally:
                 os._exit(0)
         os.close(write_fd)
-        chunks = []
-        header = os.read(read_fd, 8)
-        (length,) = struct.unpack("<Q", header)
-        remaining = length
-        while remaining > 0:
-            chunk = os.read(read_fd, min(remaining, 1 << 16))
-            if not chunk:
-                break
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        os.close(read_fd)
-        os.waitpid(pid, 0)
-        status, value = pickle.loads(b"".join(chunks))
+        try:
+            header = b""
+            while len(header) < 8:
+                piece = os.read(read_fd, 8 - len(header))
+                if not piece:
+                    break
+                header += piece
+            if len(header) < 8:
+                raise CheckpointError(
+                    f"restart pipe broke mid-header: got {len(header)} of 8 "
+                    "bytes (child died before reporting)"
+                )
+            (length,) = struct.unpack("<Q", header)
+            chunks = []
+            remaining = length
+            while remaining > 0:
+                chunk = os.read(read_fd, min(remaining, 1 << 16))
+                if not chunk:
+                    raise CheckpointError(
+                        f"restart pipe broke mid-report: {length - remaining} "
+                        f"of {length} bytes arrived"
+                    )
+                chunks.append(chunk)
+                remaining -= len(chunk)
+        finally:
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+        try:
+            status, value = pickle.loads(b"".join(chunks))
+        except Exception as exc:
+            raise CheckpointError(f"unreadable restart report: {exc}") from exc
         if status == "err":
             raise CheckpointError(f"restarted task failed: {value}")
         return value

@@ -5,6 +5,7 @@ import pytest
 from repro.devices.backing_store import BackingStoreDevice
 from repro.devices.buffered import BufferedSource
 from repro.devices.teletype import Teletype
+from repro.errors import InputExhausted
 
 
 class TestTeletype:
@@ -20,8 +21,26 @@ class TestTeletype:
     def test_read_consumes_input(self):
         tty = Teletype(input_script=b"abcdef")
         assert tty.read(3) == b"abc"
-        assert tty.read(10) == b"def"
-        assert tty.read(1) == b""
+        assert tty.read(10) == b"def"  # partial tail still returned
+        with pytest.raises(InputExhausted):
+            tty.read(1)  # no silent b"" past the script's end
+
+    def test_exhaustion_clears_after_feed(self):
+        tty = Teletype(input_script=b"ab")
+        tty.read(2)
+        with pytest.raises(InputExhausted):
+            tty.read(1)
+        tty.feed(b"c")
+        assert tty.read(1) == b"c"
+
+    def test_legacy_empty_policy(self):
+        tty = Teletype(input_script=b"ab", exhausted="empty")
+        tty.read(2)
+        assert tty.read(1) == b""  # opt-in EOF-as-empty
+
+    def test_zero_byte_read_never_raises(self):
+        tty = Teletype()
+        assert tty.read(0) == b""
 
     def test_feed_appends(self):
         tty = Teletype()
@@ -139,3 +158,31 @@ class TestBufferedSource:
         buf.read(2, client="gone")
         buf.forget_client("gone")
         assert buf.read(2, client="gone") == b"ab"  # starts over
+
+    def test_reexecuted_world_replays_identical_bytes(self):
+        # regression: a world that re-executes from scratch (attempt 2 of
+        # a supervised retry) must see byte-identical input even though
+        # the underlying source advanced past it in the meantime — the
+        # Jefferson buffering that makes a source idempotent per world.
+        tty = Teletype(input_script=b"0123456789")
+        buf = BufferedSource(tty)
+        first = buf.read(4, client="w1")
+        # another world advances the underlying source well past w1
+        buf.read(9, client="w2")
+        advanced = tty.input_remaining
+        # w1 dies and is re-executed from the top
+        buf.forget_client("w1")
+        replay = buf.read(4, client="w1")
+        assert replay == first == b"0123"
+        # and the replay came from the buffer: the source did not move
+        assert tty.input_remaining == advanced
+
+    def test_replay_identical_even_when_source_exhausted(self):
+        # the re-executed world's bytes survive even total source
+        # exhaustion — only reads past the buffered frontier would fault
+        tty = Teletype(input_script=b"abcd")
+        buf = BufferedSource(tty)
+        first = buf.read(4, client="w1")
+        buf.forget_client("w1")
+        assert buf.read(4, client="w1") == first
+        assert tty.input_remaining == 0

@@ -1,0 +1,188 @@
+"""Leased remote worlds: the state machine and supervised crash recovery."""
+
+import pytest
+
+from repro.analysis.calibration import NetworkProfile
+from repro.distrib.lease import (
+    LeaseState,
+    RemoteNode,
+    RemoteWorldLease,
+    heartbeat_lost,
+)
+from repro.distrib.netsim import SimulatedLink
+from repro.distrib.rfork import RemoteFork
+from repro.errors import NetworkError
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.supervisor import Supervisor
+
+FAST = NetworkProfile("fast", latency_s=0.001, bandwidth_bytes_s=1e8)
+
+
+def _answer(state):
+    return state.get("x", 0) + 40
+
+
+class TestLeaseStateMachine:
+    def test_grant_and_complete(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        assert lease.state is LeaseState.ACTIVE
+        lease.renew(0.1)
+        lease.complete(0.2)
+        assert lease.state is LeaseState.COMPLETED
+        assert lease.event_names == ["granted", "completed"]
+
+    def test_miss_suspects_then_probe_recovers(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        lease.miss(0.1, "beat lost")
+        assert lease.state is LeaseState.SUSPECT
+        lease.renew(0.2)
+        assert lease.state is LeaseState.ACTIVE
+        assert lease.consecutive_misses == 0
+        assert "recovered" in lease.event_names
+
+    def test_declare_dead_then_reclaim(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        for i in range(3):
+            lease.miss(0.1 * (i + 1))
+        lease.declare_dead(0.4, "3 consecutive misses")
+        lease.reclaim(0.4)
+        assert lease.state is LeaseState.RECLAIMED
+
+    def test_cannot_reclaim_living_lease(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        with pytest.raises(NetworkError):
+            lease.reclaim(0.1)
+
+    def test_late_result_from_reclaimed_world_rejected(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        lease.declare_dead(0.3, "test")
+        lease.reclaim(0.3)
+        with pytest.raises(NetworkError, match="must not commit"):
+            lease.complete(0.5)
+
+    def test_term_expiry(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2, term_s=0.5)
+        lease.renew(0.2)
+        assert not lease.check_expiry(0.6)
+        assert lease.check_expiry(0.75)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(NetworkError):
+            RemoteWorldLease(lease_id=1, node_id=2, term_s=0.0)
+        with pytest.raises(NetworkError):
+            RemoteWorldLease(lease_id=1, node_id=2, miss_threshold=0)
+
+
+class TestFaultPlanHooks:
+    def test_remote_node_crash_time(self):
+        plan = FaultPlan(
+            seed=0, rates={FaultKind.REMOTE_CRASH: 1.0}, remote_crash_fraction=0.25
+        )
+        node = RemoteNode(node_id=3, plan=plan)
+        assert node.crash_time(work_s=2.0) == pytest.approx(0.5)
+        assert RemoteNode(node_id=3, plan=None).crash_time(2.0) is None
+
+    def test_heartbeat_loss_deterministic(self):
+        plan = FaultPlan(seed=5, rates={FaultKind.HEARTBEAT_MISS: 0.4})
+        a = [heartbeat_lost(plan, 1, b) for b in range(64)]
+        b = [heartbeat_lost(plan, 1, b) for b in range(64)]
+        assert a == b
+        assert any(a) and not all(a)
+
+
+def make_supervisor(rates, seed=0, **plan_knobs):
+    plan = FaultPlan(seed=seed, rates=rates, **plan_knobs)
+    link = SimulatedLink(FAST, fault_plan=plan, seed=seed)
+    rfork = RemoteFork(link=link, node_id=1)
+    sup = Supervisor(fault_plan=plan)
+    return sup, rfork
+
+
+class TestRunRemote:
+    def test_quiet_plan_completes_remotely(self):
+        sup, rfork = make_supervisor({})
+        outcome = sup.run_remote(_answer, {"x": 2}, rfork=rfork, work_s=0.5)
+        assert outcome.winner.value == 42
+        assert not outcome.relanded
+        assert outcome.lease_events[-1]["event"] == "completed"
+        assert outcome.extras["remote"]["beats_missed"] == 0
+
+    def test_killed_remote_world_relands_locally(self):
+        # acceptance: a killed remote world is detected by lease expiry
+        # and the work re-lands locally with the correct value
+        sup, rfork = make_supervisor({FaultKind.REMOTE_CRASH: 1.0})
+        outcome = sup.run_remote(
+            _answer, {"x": 2}, rfork=rfork, work_s=1.0, local_backend="sequential"
+        )
+        assert outcome.winner.value == 42
+        assert outcome.relanded
+        events = [e["event"] for e in outcome.lease_events]
+        assert events[0] == "granted"
+        assert "declare-dead" in events
+        assert events[-1] == "reclaim-orphan"
+        # the degradation ladder starts at the remote rung
+        assert outcome.extras["degraded"][0]["backend"] == "remote"
+
+    def test_unreachable_node_relands(self):
+        sup, rfork = make_supervisor({FaultKind.XFER_DROP: 1.0})
+        outcome = sup.run_remote(
+            _answer, {"x": 2}, rfork=rfork, local_backend="sequential"
+        )
+        assert outcome.winner.value == 42
+        assert outcome.relanded
+        assert outcome.extras["degraded"][0]["error"] == "remote-unreachable"
+        assert outcome.extras["remote"]["ship"]["retries"] == rfork.retry.max_retries
+
+    def test_lost_heartbeats_rescued_by_probe(self):
+        # beats vanish in flight but the node is alive and the link is up:
+        # every suspicion must be rescued by a probe, never a declaration
+        sup, rfork = make_supervisor({FaultKind.HEARTBEAT_MISS: 0.5}, seed=2)
+        outcome = sup.run_remote(_answer, {"x": 2}, rfork=rfork, work_s=1.0)
+        assert outcome.winner.value == 42
+        assert not outcome.relanded
+        events = [e["event"] for e in outcome.lease_events]
+        assert "declare-dead" not in events
+        if "suspect" in events:
+            assert "probe-ok" in events
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_commits_under_mixed_faults(self, seed):
+        sup, rfork = make_supervisor(
+            {
+                FaultKind.XFER_DROP: 0.3,
+                FaultKind.REMOTE_CRASH: 0.3,
+                FaultKind.HEARTBEAT_MISS: 0.2,
+            },
+            seed=seed,
+        )
+        outcome = sup.run_remote(
+            _answer, {"x": 2}, rfork=rfork, work_s=1.0,
+            local_backend="sequential",
+        )
+        assert outcome.winner is not None
+        assert outcome.winner.value == 42
+
+    def test_same_seed_identical_lease_history(self):
+        def run(seed):
+            sup, rfork = make_supervisor(
+                {
+                    FaultKind.XFER_DROP: 0.2,
+                    FaultKind.REMOTE_CRASH: 0.4,
+                    FaultKind.HEARTBEAT_MISS: 0.3,
+                },
+                seed=seed,
+            )
+            outcome = sup.run_remote(
+                _answer, {"x": 2}, rfork=rfork, work_s=1.0,
+                local_backend="sequential",
+            )
+            return (
+                [(e["at_s"], e["event"], e["detail"]) for e in outcome.lease_events],
+                outcome.relanded,
+                outcome.winner.value,
+            )
+
+        assert run(13) == run(13)
+        # and seeds genuinely vary the history
+        histories = {tuple(map(tuple, run(s)[0])) for s in range(5)}
+        assert len(histories) > 1
