@@ -38,6 +38,9 @@ Packages:
 - :mod:`repro.faults` — deterministic fault injection (``FaultPlan``) and
   supervised execution (``Supervisor``: retry spares, watchdog
   escalation, backend degradation).
+- :mod:`repro.journal` — the crash-consistent commit journal
+  (``CommitJournal``), exactly-once source gate (``SourceGate``) and
+  idempotent recovery (``recover``).
 """
 
 from repro.core import (
@@ -55,6 +58,7 @@ from repro.core import (
 )
 from repro.kernel import Kernel
 from repro.faults import FaultKind, FaultPlan, Supervisor, run_supervised
+from repro.journal import CommitJournal, SourceGate, recover
 from repro.analysis import (
     ATT_3B2_310,
     HP_9000_350,
@@ -83,6 +87,9 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "Supervisor",
+    "CommitJournal",
+    "SourceGate",
+    "recover",
     "MachineProfile",
     "PerformanceModel",
     "performance_improvement",

@@ -190,6 +190,7 @@ class RecoveryBlock:
         stagger_s: float = 0.0,
         supervisor: "Supervisor | None" = None,
         fault_plan=None,
+        journal=None,
         **kwargs: Any,
     ) -> RecoveryResult:
         """Race the alternates under a :class:`~repro.faults.Supervisor`.
@@ -201,12 +202,14 @@ class RecoveryBlock:
         staggered spares (bounded retries), hangs are escalated by the
         fork watchdog, and a failing spawn degrades the whole block down
         the backend chain instead of failing it. ``fault_plan`` drives
-        deterministic fault injection for tests and benches.
+        deterministic fault injection for tests and benches; ``journal``
+        (a :class:`~repro.journal.CommitJournal`) makes the accepted
+        alternate durable and replayable across restarts.
         """
         from repro.faults.supervisor import Supervisor  # local: avoid cycle
 
         sup = supervisor or Supervisor(
-            spare_stagger_s=stagger_s, fault_plan=fault_plan
+            spare_stagger_s=stagger_s, fault_plan=fault_plan, journal=journal
         )
         t0 = time.perf_counter()
         outcome = sup.run(

@@ -87,17 +87,23 @@ def run_alternatives_sim(
     seed: int = 0,
     trace: bool = False,
     fault_plan=None,
+    journal=None,
 ):
     """Execute one block on a fresh simulation kernel.
 
     Returns ``(BlockOutcome, Kernel)`` — the kernel is returned so callers
     can inspect stats, traces and devices. ``fault_plan`` enables the
-    kernel's deterministic fault hooks (message drop/delay, stalls).
+    kernel's deterministic fault hooks (message drop/delay, stalls);
+    ``journal`` (a :class:`~repro.journal.CommitJournal`) makes the
+    kernel's commit/eliminate/split decisions crash-durable.
     """
     from repro.kernel import Kernel  # local import: kernel depends on core
 
     alts = _normalize(alternatives)
-    kernel = Kernel(profile=profile, cpus=cpus, seed=seed, trace=trace, fault_plan=fault_plan)
+    kernel = Kernel(
+        profile=profile, cpus=cpus, seed=seed, trace=trace,
+        fault_plan=fault_plan, journal=journal,
+    )
     box: dict[str, Any] = {}
 
     def driver(ctx):
@@ -129,6 +135,7 @@ def run_alternatives(
     block_id: int = 0,
     attempt: int = 0,
     watchdog=None,
+    journal=None,
     **kwargs: Any,
 ) -> BlockOutcome:
     """Run a block of mutually exclusive alternatives; return the outcome.
@@ -144,12 +151,15 @@ def run_alternatives(
     (``block_id``/``attempt`` namespace its fault keys); ``watchdog`` is
     a :class:`~repro.core.policy.WatchdogPolicy` enabling per-alternative
     SIGTERM→SIGKILL hang escalation on the fork backend (ignored by the
-    backends that have no processes to signal).
+    backends that have no processes to signal); ``journal`` (a
+    :class:`~repro.journal.CommitJournal`) records the block's winner
+    durably — the sim backend journals every kernel transition, the
+    others seal a single ``block`` transaction at winner acceptance.
     """
     if backend == "sim":
         outcome, _kernel = run_alternatives_sim(
             alternatives, initial, timeout, elimination,
-            fault_plan=fault_plan, **kwargs
+            fault_plan=fault_plan, journal=journal, **kwargs
         )
         return outcome
     if backend == "fork":
@@ -158,21 +168,23 @@ def run_alternatives(
         return run_alternatives_fork(
             alternatives, initial, timeout=timeout, elimination=elimination,
             fault_plan=fault_plan, block_id=block_id, attempt=attempt,
-            watchdog=watchdog, **kwargs
+            watchdog=watchdog, journal=journal, **kwargs
         )
     if backend == "thread":
         from repro.runtime.thread_backend import run_alternatives_thread
 
         return run_alternatives_thread(
             alternatives, initial, timeout=timeout, elimination=elimination,
-            fault_plan=fault_plan, block_id=block_id, attempt=attempt, **kwargs
+            fault_plan=fault_plan, block_id=block_id, attempt=attempt,
+            journal=journal, **kwargs
         )
     if backend == "sequential":
         from repro.runtime.sequential_backend import run_alternatives_sequential
 
         return run_alternatives_sequential(
             alternatives, initial, timeout=timeout,
-            fault_plan=fault_plan, block_id=block_id, attempt=attempt, **kwargs
+            fault_plan=fault_plan, block_id=block_id, attempt=attempt,
+            journal=journal, **kwargs
         )
     raise WorldsError(f"unknown backend {backend!r}")
 

@@ -28,6 +28,8 @@ class BackingStoreDevice(SinkDevice):
         self._staged: dict[int, list[tuple[int, bytes]]] = {}
         self.committed_writes = 0
         self.discarded_writes = 0
+        self.double_commits = 0
+        self._committed_worlds: set[int] = set()
 
     @property
     def size(self) -> int:
@@ -60,10 +62,22 @@ class BackingStoreDevice(SinkDevice):
         return len(data)
 
     def commit_world(self, world: int) -> None:
-        """Apply the world's journal in order, atomically."""
-        for offset, data in self._staged.pop(world, ()):  # FIFO order
+        """Apply the world's journal in order, atomically. Idempotent per wid.
+
+        The kernel reaches this from two paths (sync resolution and
+        unpredication); a repeat call finds the journal already drained
+        and is a counted no-op, so nothing is ever applied twice.
+        """
+        staged = self._staged.pop(world, None)
+        if staged is None:
+            if world in self._committed_worlds:
+                self.double_commits += 1
+            self._committed_worlds.add(world)
+            return
+        for offset, data in staged:  # FIFO order
             self._data[offset : offset + len(data)] = data
             self.committed_writes += 1
+        self._committed_worlds.add(world)
 
     def discard_world(self, world: int) -> None:
         """Eliminate the world's journal (no observable effect remains)."""

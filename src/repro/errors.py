@@ -138,6 +138,28 @@ class RemoteNodeDown(NetworkError):
     """The remote node crashed mid-operation (injected or declared)."""
 
 
+class JournalError(ReproError):
+    """Commit-journal failures (malformed frames, protocol misuse)."""
+
+
+class JournalCrash(ReproError):
+    """An injected crash at a journal fault site.
+
+    Raised by :class:`~repro.journal.wal.CommitJournal` (and the release
+    loop of :class:`~repro.journal.gate.SourceGate`) when the fault plan
+    schedules a crash for the current transaction: the process is
+    considered dead at that instant, with only the journal bytes and the
+    real device effects surviving. Test harnesses catch it, run
+    :func:`repro.journal.recovery.recover` over the survivors, and
+    restart.
+    """
+
+    def __init__(self, message: str, kind=None, seq: int | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.seq = seq
+
+
 class InputExhausted(ReproError):
     """A source device was read past the end of its scripted input.
 

@@ -22,10 +22,12 @@ from repro.faults.plan import (
     CHILD_SITE,
     COMPUTE_SITE,
     HEARTBEAT_SITE,
+    JOURNAL_SITE,
     KILL_SITE,
     LINK_SITE,
     MESSAGE_SITE,
     PARTITION_SITE,
+    RECOVERY_KEY,
     REMOTE_SITE,
     SITE_KINDS,
     SPAWN_SITE,
@@ -39,10 +41,12 @@ __all__ = [
     "CHILD_SITE",
     "COMPUTE_SITE",
     "HEARTBEAT_SITE",
+    "JOURNAL_SITE",
     "KILL_SITE",
     "LINK_SITE",
     "MESSAGE_SITE",
     "PARTITION_SITE",
+    "RECOVERY_KEY",
     "REMOTE_SITE",
     "SITE_KINDS",
     "SPAWN_SITE",

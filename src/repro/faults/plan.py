@@ -36,6 +36,10 @@ remote     REMOTE_CRASH (the remote node dies partway through the shipped
            work) — keyed ``(node_id, attempt)``
 heartbeat  HEARTBEAT_MISS (one lease heartbeat is lost in flight even
            though the node is alive) — keyed ``(lease_id, beat_index)``
+journal    TORN_RECORD, CRASH_BEFORE_SEAL, CRASH_AFTER_SEAL,
+           PARTIAL_RELEASE — keyed ``(txn_seq,)`` (the commit journal);
+           DOUBLE_RECOVERY — keyed ``(RECOVERY_KEY,)`` (the recovery
+           pass itself runs twice, proving idempotence)
 ========== ==================================================================
 """
 
@@ -90,6 +94,17 @@ class FaultKind(str, enum.Enum):
     REMOTE_CRASH = "remote-crash"
     #: lease protocol: a heartbeat is lost even though the node is alive
     HEARTBEAT_MISS = "heartbeat-miss"
+    #: journal: the intent record is half-written, then the process dies
+    TORN_RECORD = "torn-record"
+    #: journal: intent durable, crash before the seal record lands
+    CRASH_BEFORE_SEAL = "crash-before-seal"
+    #: journal: seal durable, crash before the apply phase runs
+    CRASH_AFTER_SEAL = "crash-after-seal"
+    #: journal: the device-release loop dies after releasing only some
+    #: of a sealed transaction's effects
+    PARTIAL_RELEASE = "partial-release"
+    #: journal: the recovery pass runs twice (it must be idempotent)
+    DOUBLE_RECOVERY = "double-recovery"
 
 
 CHILD_SITE = "child"
@@ -101,6 +116,11 @@ LINK_SITE = "link"
 PARTITION_SITE = "partition"
 REMOTE_SITE = "remote"
 HEARTBEAT_SITE = "heartbeat"
+JOURNAL_SITE = "journal"
+
+#: The reserved journal-site key the recovery pass queries for
+#: DOUBLE_RECOVERY (transaction seqs start at 1, so 0 never collides).
+RECOVERY_KEY = 0
 
 #: Which kinds may fire at each site, in trial order (first hit wins).
 SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
@@ -126,6 +146,13 @@ SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
     PARTITION_SITE: (FaultKind.LINK_FLAP,),
     REMOTE_SITE: (FaultKind.REMOTE_CRASH,),
     HEARTBEAT_SITE: (FaultKind.HEARTBEAT_MISS,),
+    JOURNAL_SITE: (
+        FaultKind.TORN_RECORD,
+        FaultKind.CRASH_BEFORE_SEAL,
+        FaultKind.CRASH_AFTER_SEAL,
+        FaultKind.PARTIAL_RELEASE,
+        FaultKind.DOUBLE_RECOVERY,
+    ),
 }
 
 

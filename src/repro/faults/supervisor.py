@@ -74,6 +74,12 @@ class Supervisor:
     block_id:
         Fault-key namespace for this supervisor's blocks; bump it when
         running many supervised blocks under one plan.
+    journal:
+        A :class:`~repro.journal.CommitJournal`; when set, every block
+        win is sealed as a durable ``block`` transaction, and a
+        restarted supervisor finding its ``block_id`` already applied
+        replays the recorded winner instead of re-running the block —
+        exactly-once across process incarnations.
     """
 
     def __init__(
@@ -85,6 +91,7 @@ class Supervisor:
         fallback: Sequence[str] = DEFAULT_FALLBACK,
         fault_plan=None,
         block_id: int = 0,
+        journal=None,
     ) -> None:
         if max_retries < 0:
             raise WorldsError(f"max_retries must be non-negative, got {max_retries}")
@@ -97,6 +104,7 @@ class Supervisor:
         self.fallback = tuple(fallback)
         self.fault_plan = fault_plan
         self.block_id = block_id
+        self.journal = journal
 
     # ------------------------------------------------------------------
     def _chain_from(self, backend: str) -> tuple[str, ...]:
@@ -128,6 +136,7 @@ class Supervisor:
                     block_id=self.block_id,
                     attempt=attempt,
                     watchdog=self.watchdog if backend == "fork" else None,
+                    journal=self.journal,
                     **kwargs,
                 )
             except SpawnError as exc:
@@ -154,7 +163,27 @@ class Supervisor:
         back to the caller's alternative positions, total wall time in
         ``elapsed_s``, and supervision records in ``extras``
         (``supervisor``, ``degraded``, ``backend``).
+
+        With a ``journal``, a win already applied for this ``block_id``
+        (by a previous incarnation that crashed after sealing) is
+        replayed without running anything — the outcome carries
+        ``extras["journal_recovered"] = True``.
         """
+        if self.journal is not None:
+            from repro.core.outcome import AlternativeResult
+            from repro.journal import find_block_win
+
+            win = find_block_win(self.journal, self.block_id)
+            if win is not None:
+                replayed = BlockOutcome(
+                    winner=AlternativeResult(
+                        index=win["winner_index"], name=win["winner_name"],
+                        value=win["value"], succeeded=True,
+                    ),
+                    elapsed_s=0.0,
+                )
+                replayed.extras["journal_recovered"] = True
+                return replayed
         alts = _normalize(alternatives)
         chain = list(self._chain_from(backend))
         degraded: list[dict] = []

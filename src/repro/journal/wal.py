@@ -1,0 +1,432 @@
+"""The write-ahead commit journal.
+
+One append-only byte stream of CRC-framed records (the MWCKPT2 idiom of
+:mod:`repro.runtime.checkpoint`, per record instead of per image):
+
+    magic ``MWJRNL1\\n`` once, then repeated
+    ``<II>(body_len, crc32)`` + pickled body
+
+A record whose frame is incomplete or whose checksum does not match is a
+*torn tail*: opening the journal truncates it away (crash-during-append
+is expected, not fatal) without ever unpickling unverified bytes.
+
+Transactions follow the intent -> seal -> apply protocol:
+
+====== ================================================================
+record meaning
+====== ================================================================
+intent ``begin(kind, **data)`` — what is about to happen, with enough
+       data to redo it (a ``release`` intent carries the full effect
+       ledger).
+seal   the durable decision point. A sealed transaction *will* happen:
+       recovery rolls it forward. An unsealed one never happened:
+       recovery rolls it back (abort record).
+applied the apply phase finished; recovery skips the transaction.
+abort  the transaction was rolled back (recovery, or a voluntary
+       abandon before seal).
+release one source effect reached the inner device: ``(device, eid,
+       pos_start, pos_end)``. The per-device maximum ``pos_end`` is the
+       durable *release frontier* — the exactly-once dedup line.
+read   fresh bytes consumed from a real source (``note_read``); the
+       gate's replay buffer is rebuilt from these, so destructive
+       scripted input is consumed exactly once across crash/re-run.
+====== ================================================================
+
+Positions, not effect ids, carry the exactly-once guarantee: a re-run
+after recovery restarts its eid counters, but deterministic re-execution
+regenerates the same output stream, so byte positions line up and the
+frontier deduplicates them.
+
+Fault injection (``JOURNAL_SITE``, keyed by transaction seq — one
+decision per transaction, first hit wins):
+
+- ``TORN_RECORD``: half the intent frame reaches storage, then the
+  process dies (:class:`~repro.errors.JournalCrash`);
+- ``CRASH_BEFORE_SEAL`` / ``CRASH_AFTER_SEAL``: armed at ``begin``,
+  fired by ``seal`` around the seal append;
+- ``PARTIAL_RELEASE``: armed at ``begin``, consumed by the
+  :class:`~repro.journal.gate.SourceGate` release loop via
+  :meth:`CommitJournal.take_armed`;
+- ``DOUBLE_RECOVERY`` is decided at the reserved key
+  :data:`~repro.faults.plan.RECOVERY_KEY` by :func:`repro.journal.recovery.recover`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import JournalCrash, JournalError
+from repro.faults.plan import JOURNAL_SITE, FaultKind
+
+MAGIC = b"MWJRNL1\n"
+_FRAME = struct.Struct("<II")
+
+#: Fault kinds armed at ``begin`` and fired later in the transaction.
+_ARMED_KINDS = (
+    FaultKind.CRASH_BEFORE_SEAL,
+    FaultKind.CRASH_AFTER_SEAL,
+    FaultKind.PARTIAL_RELEASE,
+)
+
+
+class MemoryJournalStorage:
+    """Journal bytes in memory — the fuzz harness's simulated disk.
+
+    The instance outlives the process-under-test: a crash discards the
+    :class:`CommitJournal` object but keeps this storage, exactly like a
+    real disk surviving a process death.
+    """
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._buf = bytearray(data)
+
+    def load(self) -> bytes:
+        return bytes(self._buf)
+
+    def append(self, blob: bytes) -> None:
+        self._buf.extend(blob)
+
+    def truncate(self, size: int) -> None:
+        del self._buf[size:]
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class FileJournalStorage:
+    """Journal bytes in a real file, fsynced per append."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def load(self) -> bytes:
+        try:
+            with open(self.path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return b""
+
+    def append(self, blob: bytes) -> None:
+        with open(self.path, "ab") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def truncate(self, size: int) -> None:
+        if os.path.exists(self.path):
+            os.truncate(self.path, size)
+
+    def __len__(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+
+class CommitJournal:
+    """The append-only intent log, with torn-tail repair on open.
+
+    Parameters
+    ----------
+    storage:
+        A :class:`MemoryJournalStorage` / :class:`FileJournalStorage`
+        (anything with ``load``/``append``/``truncate``). Defaults to a
+        fresh in-memory store.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan`; enables the
+        ``journal`` fault site (see the module docstring).
+    """
+
+    def __init__(self, storage=None, fault_plan=None) -> None:
+        self.storage = storage if storage is not None else MemoryJournalStorage()
+        self.fault_plan = fault_plan
+        self._records: list[dict] = []
+        self._intents: dict[int, dict] = {}
+        self._sealed: set[int] = set()
+        self._applied: dict[int, dict] = {}
+        self._aborted: set[int] = set()
+        self._frontiers: dict[str, int] = {}
+        self._reads: dict[str, bytearray] = {}
+        self._armed: dict[int, FaultKind] = {}
+        self._next_seq = 1
+        self.repaired_bytes = 0
+        self._open()
+
+    # -- opening / torn-tail repair ----------------------------------------
+    def _open(self) -> None:
+        raw = self.storage.load()
+        if not raw:
+            self.storage.append(MAGIC)
+            return
+        if not raw.startswith(MAGIC):
+            if len(raw) < len(MAGIC) and MAGIC.startswith(raw):
+                # crash during the very first append: torn magic
+                self.repaired_bytes = len(raw)
+                self.storage.truncate(0)
+                self.storage.append(MAGIC)
+                return
+            raise JournalError("not a commit journal (bad magic)")
+        offset = len(MAGIC)
+        while offset < len(raw):
+            if offset + _FRAME.size > len(raw):
+                break  # torn frame header
+            body_len, crc = _FRAME.unpack_from(raw, offset)
+            body = raw[offset + _FRAME.size : offset + _FRAME.size + body_len]
+            if len(body) < body_len or zlib.crc32(body) != crc:
+                break  # torn or corrupt tail — CRC checked before unpickle
+            try:
+                record = pickle.loads(body)
+            except Exception:
+                break  # pragma: no cover - CRC passed but body unreadable
+            self._index(record)
+            self._records.append(record)
+            offset += _FRAME.size + body_len
+        if offset < len(raw):
+            self.repaired_bytes = len(raw) - offset
+            self.storage.truncate(offset)
+
+    def _index(self, record: dict) -> None:
+        kind = record["t"]
+        if kind == "intent":
+            seq = record["seq"]
+            self._intents[seq] = record
+            self._next_seq = max(self._next_seq, seq + 1)
+        elif kind == "seal":
+            self._sealed.add(record["seq"])
+        elif kind == "applied":
+            self._applied[record["seq"]] = record.get("data", {})
+        elif kind == "abort":
+            self._aborted.add(record["seq"])
+        elif kind == "release":
+            device = record["device"]
+            if record["pos_end"] > self._frontiers.get(device, 0):
+                self._frontiers[device] = record["pos_end"]
+        elif kind == "read":
+            self._reads.setdefault(record["device"], bytearray()).extend(
+                record["data"]
+            )
+
+    # -- appending ---------------------------------------------------------
+    @staticmethod
+    def _frame(record: dict) -> bytes:
+        try:
+            body = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise JournalError(
+                f"unpicklable journal record {record.get('t')!r}: {exc}"
+            ) from exc
+        return _FRAME.pack(len(body), zlib.crc32(body)) + body
+
+    def _append(self, record: dict) -> None:
+        self.storage.append(self._frame(record))
+        self._index(record)
+        self._records.append(record)
+
+    # -- the transaction protocol ------------------------------------------
+    def begin(self, kind: str, **data: Any) -> int:
+        """Write an intent record; returns the transaction seq.
+
+        The intent must carry everything needed to *redo* the apply phase
+        (recovery has only the journal and the devices). May raise
+        :class:`~repro.errors.JournalCrash` (injected torn record) or arm
+        a later-stage fault for this seq.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        record = {"t": "intent", "seq": seq, "kind": kind, "data": data}
+        fault = None
+        if self.fault_plan is not None:
+            fault = self.fault_plan.decide(JOURNAL_SITE, seq).kind
+        if fault is FaultKind.TORN_RECORD:
+            blob = self._frame(record)
+            self.storage.append(blob[: max(1, len(blob) // 2)])
+            raise JournalCrash(
+                f"injected torn intent record (txn {seq}, kind {kind!r})",
+                kind=fault, seq=seq,
+            )
+        self._append(record)
+        if fault in _ARMED_KINDS:
+            self._armed[seq] = fault
+        return seq
+
+    def seal(self, seq: int) -> None:
+        """Write the seal record — the durable commit point of ``seq``."""
+        self._check_open(seq, "seal")
+        if self._armed.get(seq) is FaultKind.CRASH_BEFORE_SEAL:
+            self._armed.pop(seq)
+            raise JournalCrash(
+                f"injected crash before seal (txn {seq})",
+                kind=FaultKind.CRASH_BEFORE_SEAL, seq=seq,
+            )
+        self._append({"t": "seal", "seq": seq})
+        if self._armed.get(seq) is FaultKind.CRASH_AFTER_SEAL:
+            self._armed.pop(seq)
+            raise JournalCrash(
+                f"injected crash after seal, before apply (txn {seq})",
+                kind=FaultKind.CRASH_AFTER_SEAL, seq=seq,
+            )
+
+    def mark_applied(self, seq: int, **data: Any) -> None:
+        """Record that ``seq``'s apply phase completed. Idempotent."""
+        if seq in self._applied:
+            return
+        if seq not in self._sealed:
+            raise JournalError(f"cannot apply unsealed txn {seq}")
+        try:
+            self._append({"t": "applied", "seq": seq, "data": data})
+        except JournalError:
+            # unpicklable apply data: record completion without it
+            self._append({"t": "applied", "seq": seq, "data": {}})
+
+    def abort(self, seq: int, reason: str = "") -> None:
+        """Roll ``seq`` back. Idempotent; a sealed txn cannot be aborted."""
+        if seq in self._aborted:
+            return
+        if seq in self._sealed:
+            raise JournalError(f"cannot abort sealed txn {seq}")
+        if seq not in self._intents:
+            raise JournalError(f"cannot abort unknown txn {seq}")
+        self._append({"t": "abort", "seq": seq, "reason": reason})
+
+    def _check_open(self, seq: int, verb: str) -> None:
+        if seq not in self._intents:
+            raise JournalError(f"cannot {verb} unknown txn {seq}")
+        if seq in self._sealed:
+            raise JournalError(f"cannot {verb} already-sealed txn {seq}")
+        if seq in self._aborted:
+            raise JournalError(f"cannot {verb} aborted txn {seq}")
+
+    # -- source effects ----------------------------------------------------
+    def release(
+        self, seq: int | None, device: str, eid: int, pos_start: int, pos_end: int
+    ) -> None:
+        """One source effect reached the inner device (advance frontier).
+
+        ``seq`` is the owning release transaction, or None for a direct
+        (non-speculative) write that needs no txn of its own.
+        """
+        self._append({
+            "t": "release", "seq": seq, "device": device,
+            "eid": eid, "pos_start": pos_start, "pos_end": pos_end,
+        })
+
+    def note_read(self, device: str, data: bytes) -> None:
+        """Fresh bytes were consumed from a real source: make them durable."""
+        if data:
+            self._append({"t": "read", "device": device, "data": bytes(data)})
+
+    def release_frontier(self, device: str) -> int:
+        """Max released stream position for ``device`` (the dedup line)."""
+        return self._frontiers.get(device, 0)
+
+    def reads_for(self, device: str) -> bytes:
+        """Every byte ever consumed from ``device``, in consumption order."""
+        return bytes(self._reads.get(device, b""))
+
+    # -- fault arming ------------------------------------------------------
+    def take_armed(self, seq: int) -> FaultKind | None:
+        """Pop the armed later-stage fault for ``seq`` (gate release loop)."""
+        return self._armed.pop(seq, None)
+
+    # -- introspection -----------------------------------------------------
+    def records(self) -> list[dict]:
+        return list(self._records)
+
+    def intent(self, seq: int) -> dict:
+        try:
+            return self._intents[seq]
+        except KeyError:
+            raise JournalError(f"no txn {seq}") from None
+
+    def status(self, seq: int) -> str:
+        """``open`` / ``sealed`` / ``applied`` / ``aborted``."""
+        if seq in self._applied:
+            return "applied"
+        if seq in self._aborted:
+            return "aborted"
+        if seq in self._sealed:
+            return "sealed"
+        if seq in self._intents:
+            return "open"
+        raise JournalError(f"no txn {seq}")
+
+    def unsealed_txns(self) -> list[int]:
+        """Intents with neither seal nor abort — recovery rolls these back."""
+        return sorted(
+            seq for seq in self._intents
+            if seq not in self._sealed and seq not in self._aborted
+        )
+
+    def sealed_unapplied(self) -> list[int]:
+        """Sealed intents not yet applied — recovery rolls these forward."""
+        return sorted(seq for seq in self._sealed if seq not in self._applied)
+
+    def released_eids(self, seq: int) -> set[int]:
+        """Effect ids already released under transaction ``seq``."""
+        return {
+            r["eid"] for r in self._records
+            if r["t"] == "release" and r["seq"] == seq
+        }
+
+    def _matches(self, seq: int, kind: str, match: dict) -> bool:
+        intent = self._intents[seq]
+        if intent["kind"] != kind:
+            return False
+        data = intent["data"]
+        return all(data.get(k) == v for k, v in match.items())
+
+    def find_sealed(self, kind: str, **match: Any) -> dict | None:
+        """Latest sealed intent of ``kind`` whose data matches; or None."""
+        for seq in sorted(self._sealed, reverse=True):
+            if self._matches(seq, kind, match):
+                return self._intents[seq]
+        return None
+
+    def find_applied(self, kind: str, **match: Any) -> tuple[dict, dict] | None:
+        """Latest applied ``(intent, applied_data)`` of ``kind``; or None."""
+        for seq in sorted(self._applied, reverse=True):
+            if self._matches(seq, kind, match):
+                return self._intents[seq], self._applied[seq]
+        return None
+
+
+# -- backend helpers -------------------------------------------------------
+def record_block_win(journal: CommitJournal, block_id: int, attempt: int, winner) -> int:
+    """Journal a real-backend block win as one intent/seal/applied txn.
+
+    Called by the fork/thread/sequential backends at the moment a winner
+    is accepted; the applied record carries the winner's value (when
+    picklable) so a supervisor restarted over the same journal can
+    replay the outcome instead of re-running the block.
+    """
+    seq = journal.begin(
+        "block", block=block_id, attempt=attempt,
+        winner_index=winner.index, winner_name=winner.name,
+    )
+    journal.seal(seq)
+    journal.mark_applied(seq, value=winner.value)
+    return seq
+
+
+def find_block_win(journal: CommitJournal, block_id: int) -> dict | None:
+    """The replayable win for ``block_id``, or None.
+
+    Returns ``{"winner_index", "winner_name", "value"}`` only when the
+    applied record carries the value (an unpicklable value is recorded
+    without it, and such a block must simply re-run).
+    """
+    hit = journal.find_applied("block", block=block_id)
+    if hit is None:
+        return None
+    intent, applied = hit
+    if "value" not in applied:
+        return None
+    return {
+        "winner_index": intent["data"]["winner_index"],
+        "winner_name": intent["data"]["winner_name"],
+        "value": applied["value"],
+    }

@@ -212,6 +212,15 @@ class Kernel:
         per-op compute stalls (decided per ``(wid, op_number)``). Faults
         change timing and delivery, never the replay log contents, so
         world cloning stays sound under injection.
+    journal:
+        Optional :class:`~repro.journal.wal.CommitJournal`. When set,
+        every winner synchronization, parent commit, elimination and
+        predicate split runs as an intent -> seal -> apply transaction,
+        and an injected journal crash
+        (:class:`~repro.errors.JournalCrash`) propagates out of
+        :meth:`run` — the process is dead at that instant, with only the
+        journal bytes and real device effects surviving. When None
+        (default) no journaling happens and behaviour is unchanged.
     """
 
     def __init__(
@@ -223,6 +232,7 @@ class Kernel:
         trace: bool = False,
         max_worlds: int = 10_000,
         fault_plan=None,
+        journal=None,
     ) -> None:
         """``max_worlds`` bounds total world creation — the defence
         against the abstract's "combinatorial explosion" when message
@@ -242,6 +252,7 @@ class Kernel:
         self.source_policy = source_policy
         self.trace = Trace(enabled=trace)
         self.fault_plan = fault_plan
+        self.journal = journal
         self.faults_injected: list[dict] = []
 
         self.now = 0.0
@@ -944,6 +955,12 @@ class Kernel:
                     )
         if orig.own_group is not None:
             raise KernelError("cannot split a world between alt_spawn and alt_wait")
+        split_seq = None
+        if self.journal is not None:
+            split_seq = self.journal.begin(
+                "split", pid=orig.pid, orig_wid=orig.wid,
+            )
+            self.journal.seal(split_seq)
         clone = SimProcess(
             wid=self._wids.next(),
             pid=orig.pid,
@@ -962,11 +979,33 @@ class Kernel:
         clone.state = ProcState.BLOCKED_RECV
         clone.mailbox = orig.mailbox.clone(orig.pid)
         self._register(clone)
+        self._fork_readers(orig.wid, clone.wid)
         deadline = orig.blocked_recv_deadline
         if deadline is not None and deadline > self.now:
             clone.blocked_recv_deadline = deadline
             self._set_timer(clone, deadline, "recv")
+        if split_seq is not None:
+            self.journal.mark_applied(split_seq, clone_wid=clone.wid)
         return clone
+
+    def _fork_readers(self, src_wid: int, dst_wid: int) -> None:
+        """A world forked: gated sources inherit the parent's read position."""
+        for device in self.devices.values():
+            fork_reader = getattr(device, "fork_reader", None)
+            if fork_reader is not None:
+                fork_reader(src_wid, dst_wid)
+
+    def _transfer_readers(self, src_wid: int, dst_wid: int) -> None:
+        """A winner committed: its consumed input becomes the parent's.
+
+        Covers gated sources the winner only *read* from — those never
+        enter ``staged_devices``, so :meth:`_transfer_staging` does not
+        reach them. ``transfer_world`` on an empty ledger just moves the
+        read position (and is a no-op if staging already transferred).
+        """
+        for device in self.devices.values():
+            if getattr(device, "fork_reader", None) is not None:
+                device.transfer_world(src_wid, dst_wid)
 
     def _replay(self, clone: SimProcess) -> None:
         """Reconstruct the clone's generator by deterministic replay.
@@ -1065,6 +1104,7 @@ class Kernel:
             )
             world.child_pids.append(pid)
             self._register(child)
+            self._fork_readers(world.wid, child.wid)
             # IN_CHILD entry guard for generator programs (plain wrappers
             # perform their own entry check).
             if (
@@ -1146,6 +1186,15 @@ class Kernel:
         if not self._sync_guard_ok(group, world, value):
             self._finish_abort(world, "guard rejected result at sync")
             return
+        # the winner decision becomes durable *before* any state mutates:
+        # a crash from here on rolls forward to the same winner
+        sync_seq = None
+        if self.journal is not None:
+            sync_seq = self.journal.begin(
+                "sync", group=group.group_id,
+                winner_pid=world.pid, winner_wid=world.wid,
+            )
+            self.journal.seal(sync_seq)
         # the "at most once" synchronization: this world wins the block
         group.settled = True
         group.winner_pid = world.pid
@@ -1183,6 +1232,8 @@ class Kernel:
                 raise KernelError("waiting parent in unexpected state")
             parent.bump_timer()  # cancel the alt_wait timeout
             self._deliver_alt_outcome(parent, group)
+        if sync_seq is not None:
+            self.journal.mark_applied(sync_seq)
 
     def _settle_failure(self, group: AltGroup) -> None:
         """Every alternative failed: the failure alternative is selected."""
@@ -1238,8 +1289,19 @@ class Kernel:
             )
             if winner_world is None:  # pragma: no cover - defensive
                 raise KernelError("winner world vanished before commit")
+            commit_seq = None
+            if self.journal is not None:
+                commit_seq = self.journal.begin(
+                    "commit", group=group.group_id,
+                    winner_pid=group.winner_pid, winner_wid=winner_world.wid,
+                    parent_wid=parent.wid,
+                )
+                self.journal.seal(commit_seq)
             parent.heap.replace_with(winner_world.heap)
             self._transfer_staging(winner_world, parent)
+            self._transfer_readers(winner_world.wid, parent.wid)
+            if commit_seq is not None:
+                self.journal.mark_applied(commit_seq)
 
         parent_cost = 0.0
         if group.policy is EliminationPolicy.SYNCHRONOUS:
@@ -1319,11 +1381,19 @@ class Kernel:
     def _kill_world(self, world: SimProcess, reason: str, status: str = "eliminated") -> None:
         if not world.alive:
             return
+        elim_seq = None
+        if self.journal is not None:
+            elim_seq = self.journal.begin(
+                "eliminate", wid=world.wid, pid=world.pid, status=status,
+            )
+            self.journal.seal(elim_seq)
         world.state = ProcState.KILLED
         world.error = reason
         world.finished_at = self.now
         self.trace.record(self.now, "kill", world.pid, wid=world.wid, reason=reason)
         self._after_world_death(world, reason, status=status)
+        if elim_seq is not None:
+            self.journal.mark_applied(elim_seq)
 
     def _after_world_death(self, world: SimProcess, reason: str, status: str) -> None:
         # cancel any scheduled timeslice and free the CPU immediately
@@ -1352,6 +1422,18 @@ class Kernel:
         live_others = [
             w for w in self.pid_worlds.get(world.pid, []) if self.worlds[w].alive
         ]
+        # drop the dead world's replay positions so loser buffers don't
+        # accumulate across blocks: sink-style gates key by wid, buffered
+        # sources key by pid (only safe to forget once the pid is gone)
+        pid_gone = not live_others and world.pid not in self._committed
+        for device in self.devices.values():
+            forget = getattr(device, "forget_client", None)
+            if forget is None:
+                continue
+            if isinstance(device, SinkDevice):
+                forget(world.wid)
+            elif pid_gone:
+                forget(world.pid)
         # this specific world is gone, whatever happens to the pid
         self._resolve_fact(world_key(world.wid), False)
         if not live_others and world.pid not in self._committed:

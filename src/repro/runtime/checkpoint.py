@@ -63,7 +63,11 @@ class CheckpointImage:
     # -- the "executable file" format -------------------------------------------
     def to_bytes(self) -> bytes:
         header = self.name.encode()
-        crc = zlib.crc32(header + self.payload)
+        # the CRC must cover every mutable field, created_at included — an
+        # uncovered header byte is a hole a corrupt delivery slips through
+        crc = zlib.crc32(
+            struct.pack("<Qd", len(header), self.created_at) + header + self.payload
+        )
         return (
             _MAGIC
             + struct.pack("<QdI", len(header), self.created_at, crc)
@@ -110,7 +114,7 @@ class CheckpointImage:
         body = blob[offset:]
         if verified:
             crc = fields[2]
-            actual = zlib.crc32(body)
+            actual = zlib.crc32(struct.pack("<Qd", name_len, created_at) + body)
             if actual != crc:
                 raise CheckpointError(
                     f"checkpoint checksum mismatch: header says {crc:#010x}, "
@@ -147,12 +151,32 @@ class CheckpointImage:
         fn, state = self.load()
         return fn(state)
 
-    def restart_in_fork(self) -> Any:
+    def restart_in_fork(self, journal=None) -> Any:
         """Resume the task in a forked child (local remote-execution).
 
         The child runs the continuation and ships the result back through
         a pipe — the degenerate (same-host) case of the paper's rfork.
+
+        With a ``journal`` (a :class:`~repro.journal.CommitJournal`) the
+        restart is exactly-once per image: completed restarts are sealed
+        as ``restart`` transactions keyed by (name, payload CRC), and a
+        repeat call — e.g. after a crash between the child finishing and
+        the caller consuming the value — replays the recorded result
+        instead of running the task again.
         """
+        if journal is not None:
+            crc = zlib.crc32(self.payload)
+            hit = journal.find_applied("restart", name=self.name, crc=crc)
+            if hit is not None and "value" in hit[1]:
+                return hit[1]["value"]
+            seq = journal.begin("restart", name=self.name, crc=crc)
+            journal.seal(seq)
+            value = self._restart_in_fork()
+            journal.mark_applied(seq, value=value)
+            return value
+        return self._restart_in_fork()
+
+    def _restart_in_fork(self) -> Any:
         if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
             return self.restart()
         read_fd, write_fd = os.pipe()

@@ -300,6 +300,7 @@ def run_alternatives_fork(
     attempt: int = 0,
     watchdog: WatchdogPolicy | None = None,
     elim_grace_s: float = 0.0,
+    journal=None,
 ) -> BlockOutcome:
     """Execute a block of alternatives as real forked processes.
 
@@ -507,6 +508,10 @@ def run_alternatives_fork(
                             succeeded=True, elapsed_s=now - t_spawned,
                         )
                         winner_ws = child_ws
+                        if journal is not None:
+                            from repro.journal import record_block_win
+
+                            record_block_win(journal, block_id, attempt, winner)
                         _retire(pid, reader)
                         break
                     losers.append(

@@ -35,6 +35,7 @@ def run_alternatives_sequential(
     fault_plan=None,
     block_id: int = 0,
     attempt: int = 0,
+    journal=None,
     **_ignored: Any,
 ) -> BlockOutcome:
     """Try alternatives in order; first guard-accepted result wins."""
@@ -127,6 +128,10 @@ def run_alternatives_sequential(
             elapsed_s=time.perf_counter() - t0,
         )
         winner_ws = workspace
+        if journal is not None:
+            from repro.journal import record_block_win
+
+            record_block_win(journal, block_id, attempt, winner)
         break
 
     outcome = BlockOutcome(

@@ -122,6 +122,7 @@ def run_alternatives_thread(
     fault_plan=None,
     block_id: int = 0,
     attempt: int = 0,
+    journal=None,
     **_ignored: Any,
 ) -> BlockOutcome:
     """Execute a block of plain-callable alternatives on threads.
@@ -205,6 +206,10 @@ def run_alternatives_thread(
                 succeeded=True, elapsed_s=elapsed,
             )
             winner_ws = workspace
+            if journal is not None:
+                from repro.journal import record_block_win
+
+                record_block_win(journal, block_id, attempt, winner)
         else:
             losers.append(
                 AlternativeResult(

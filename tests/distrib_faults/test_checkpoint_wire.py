@@ -84,6 +84,17 @@ class TestWireFormatV2:
             with pytest.raises(CheckpointError):
                 CheckpointImage.from_bytes(bytes(mutated))
 
+    def test_header_field_flips_detected(self):
+        # regression: created_at (bytes 16-23) was once outside the CRC,
+        # so a flip there sailed through verification — every mutable
+        # header byte must be covered
+        blob = CheckpointImage.capture(_task, {"x": 1}, "n").to_bytes()
+        for pos in range(len(b"MWCKPT2\n"), len(b"MWCKPT2\n") + struct.calcsize("<Qd")):
+            mutated = bytearray(blob)
+            mutated[pos] ^= 0xFF
+            with pytest.raises(CheckpointError):
+                CheckpointImage.from_bytes(bytes(mutated))
+
     def test_read_file_verifies(self, tmp_path):
         image = CheckpointImage.capture(_task, {"x": 1})
         path = tmp_path / "img.ckpt"

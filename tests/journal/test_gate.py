@@ -1,0 +1,175 @@
+"""The SourceGate: ledgers, positional exactly-once, read replay."""
+
+import pytest
+
+from repro.devices.teletype import Teletype
+from repro.errors import InputExhausted, JournalCrash
+from repro.faults import FaultKind, FaultPlan
+from repro.journal import CommitJournal, MemoryJournalStorage, SourceGate
+
+
+def make(script=b"", storage=None, plan=None):
+    # NB: empty storage is falsy (it has __len__), so test identity, not truth
+    j = CommitJournal(
+        storage if storage is not None else MemoryJournalStorage(),
+        fault_plan=plan,
+    )
+    tty = Teletype("tty", input_script=script)
+    return j, tty, SourceGate(tty, j)
+
+
+class TestWrites:
+    def test_direct_write_releases_immediately(self):
+        j, tty, gate = make()
+        gate.write(b"now")
+        assert tty.output == b"now"
+        assert gate.frontier == 3
+
+    def test_staged_write_invisible_until_commit(self):
+        j, tty, gate = make()
+        gate.stage_write(7, b"later")
+        assert tty.output == b""
+        assert gate.pending_effects(7) == 1
+        gate.commit_world(7)
+        assert tty.output == b"later"
+        assert gate.pending_effects(7) == 0
+
+    def test_discard_leaves_no_trace(self):
+        j, tty, gate = make()
+        gate.stage_write(7, b"doomed")
+        gate.discard_world(7)
+        gate.commit_world(7)  # nothing staged: no-op
+        assert tty.output == b""
+        assert gate.frontier == 0
+
+    def test_transfer_preserves_order(self):
+        j, tty, gate = make()
+        gate.stage_write(5, b"a")
+        gate.stage_write(7, b"b")
+        gate.transfer_world(7, 5)
+        gate.commit_world(5)
+        assert tty.output == b"ab"
+
+    def test_commit_order_interleaves_direct_writes(self):
+        j, tty, gate = make()
+        gate.write(b"[")
+        gate.stage_write(7, b"mid")
+        gate.commit_world(7)
+        gate.write(b"]")
+        assert tty.output == b"[mid]"
+        assert gate.frontier == 5
+
+    def test_repeat_commit_is_counted_noop(self):
+        j, tty, gate = make()
+        gate.stage_write(7, b"once")
+        gate.commit_world(7)
+        gate.commit_world(7)
+        assert tty.output == b"once"
+        assert gate.double_commits == 1
+
+    def test_recommit_after_restaging_still_releases(self):
+        # a world that re-speculates after committing must not be starved
+        # by the double-commit guard
+        j, tty, gate = make()
+        gate.stage_write(7, b"first")
+        gate.commit_world(7)
+        gate.stage_write(7, b"+more")
+        gate.commit_world(7)
+        assert tty.output == b"first+more"
+        assert gate.double_commits == 0
+
+
+class TestExactlyOnce:
+    def test_rerun_releases_are_frontier_deduped(self):
+        storage = MemoryJournalStorage()
+        j, tty, gate = make(storage=storage)
+        gate.write(b"[start]")
+        gate.stage_write(7, b"<a>")
+        gate.commit_world(7)
+        # simulated crash + deterministic re-run over the SAME inner device
+        j2 = CommitJournal(MemoryJournalStorage(storage.load()))
+        gate2 = SourceGate(tty, j2)
+        gate2.write(b"[start]")
+        gate2.stage_write(7, b"<a>")
+        gate2.commit_world(7)
+        gate2.write(b"[done]")  # only the new suffix reaches the device
+        assert tty.output == b"[start]<a>[done]"
+        assert gate2.skipped_bytes == 10
+
+    def test_partial_overlap_sliced(self):
+        j, tty, gate = make()
+        j.release(None, "tty", 1, 0, 4)  # frontier mid-way through the write
+        gate.write(b"abcdef")
+        assert tty.output == b"ef"
+        assert gate.frontier == 6
+
+    def test_partial_release_crash_then_redo(self):
+        plan = FaultPlan(seed=0, rates={FaultKind.PARTIAL_RELEASE: 1.0})
+        storage = MemoryJournalStorage()
+        j, tty, gate = make(storage=storage, plan=plan)
+        for chunk in (b"one", b"two", b"three", b"four"):
+            gate.stage_write(7, chunk)
+        with pytest.raises(JournalCrash) as exc:
+            gate.commit_world(7)
+        assert exc.value.kind is FaultKind.PARTIAL_RELEASE
+        assert tty.output == b"onetwo"  # half of 4 entries released
+        # restart: recover redoes the sealed txn's remaining entries
+        from repro.journal import recover
+
+        j2 = CommitJournal(MemoryJournalStorage(storage.load()))
+        gate2 = SourceGate(tty, j2)
+        report = recover(j2, gates=[gate2])
+        assert report.redone_entries == 2
+        assert tty.output == b"onetwothreefour"
+        # and a second recovery changes nothing
+        assert recover(j2, gates=[gate2]).redone_entries == 0
+        assert tty.output == b"onetwothreefour"
+
+
+class TestReads:
+    def test_fresh_read_journaled_and_replayed(self):
+        storage = MemoryJournalStorage()
+        j, tty, gate = make(script=b"XYZ", storage=storage)
+        assert gate.read(2, world=1) == b"XY"
+        assert tty.input_remaining == 1  # destructively consumed once
+        # a new gate over the surviving journal replays from the buffer
+        j2 = CommitJournal(MemoryJournalStorage(storage.load()))
+        gate2 = SourceGate(tty, j2)
+        assert gate2.read(2, world=1) == b"XY"
+        assert tty.input_remaining == 1  # not consumed again
+        assert gate2.replayed_reads == 1
+
+    def test_independent_positions_per_world(self):
+        j, tty, gate = make(script=b"0123")
+        assert gate.read(2, world=1) == b"01"
+        assert gate.read(2, world=2) == b"01"  # same bytes, one consume
+        assert tty.input_remaining == 2
+
+    def test_fork_reader_inherits_position(self):
+        j, tty, gate = make(script=b"0123")
+        gate.read(2, world=1)
+        gate.fork_reader(1, 9)
+        assert gate.read(2, world=9) == b"23"
+
+    def test_transfer_world_carries_read_position(self):
+        j, tty, gate = make(script=b"0123")
+        gate.fork_reader("default", 7)  # child of the direct reader
+        gate.read(2, world=7)
+        gate.transfer_world(7, 1)  # 7 commits into parent world 1
+        assert gate.read(2, world=1) == b"23"
+
+    def test_forget_client_drops_state(self):
+        j, tty, gate = make(script=b"0123")
+        gate.read(2, world=7)
+        gate.stage_write(7, b"x")
+        gate.forget_client(7)
+        assert 7 not in gate._read_pos
+        assert gate.pending_effects(7) == 0
+
+    def test_exhausted_only_past_buffer(self):
+        j, tty, gate = make(script=b"ab")
+        assert gate.read(5, world=1) == b"ab"  # partial tail
+        with pytest.raises(InputExhausted):
+            gate.read(1, world=1)
+        # a world still behind the buffer is served without touching inner
+        assert gate.read(2, world=2) == b"ab"

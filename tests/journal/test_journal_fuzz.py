@@ -1,0 +1,175 @@
+"""Crash-at-every-journal-site fuzz: exactly-once, one winner, deterministic.
+
+Each seed runs one speculative block through a journalled kernel with a
+fault plan aimed at the journal site. The crash-once model mirrors a real
+process death: the first incarnation runs under the plan; if it dies
+(:class:`~repro.errors.JournalCrash`), only the journal bytes and the
+inner teletype survive. The second incarnation reopens the journal,
+recovers, and re-runs the whole program deterministically.
+
+Per-seed assertions:
+
+- the inner device's output is byte-identical to a fault-free control run
+  (source effects exactly once, no matter where the crash landed);
+- scripted input was consumed exactly once;
+- exactly one alternative committed (single surviving winner);
+- the entire scenario — crash, recovery, re-run — is byte-identical when
+  repeated (journal bytes included), i.e. recovery itself is
+  deterministic per seed.
+
+Seeds rotate through five rate profiles so every journal fault kind
+(torn record, crash-before-seal, crash-after-seal, partial release,
+double recovery) gets dense coverage. ``JOURNAL_FUZZ_SEEDS`` shrinks the
+sweep for CI smoke (5 seeds covers all five profiles).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.devices.teletype import Teletype
+from repro.errors import JournalCrash
+from repro.faults import FaultKind, FaultPlan
+from repro.journal import (
+    CommitJournal,
+    MemoryJournalStorage,
+    SourceGate,
+    recover,
+)
+from repro.kernel import Kernel
+
+FUZZ_SEEDS = int(os.environ.get("JOURNAL_FUZZ_SEEDS", "50"))
+
+#: Per-seed-group rate profiles: uniform moderate rates would almost
+#: never arm PARTIAL_RELEASE on the one release txn, so each group aims
+#: the plan at one kind (group 4 stacks a crash under DOUBLE_RECOVERY).
+PROFILES = (
+    {FaultKind.TORN_RECORD: 0.5},
+    {FaultKind.CRASH_BEFORE_SEAL: 0.5},
+    {FaultKind.CRASH_AFTER_SEAL: 0.5},
+    {FaultKind.PARTIAL_RELEASE: 0.7},
+    {FaultKind.CRASH_BEFORE_SEAL: 0.45, FaultKind.DOUBLE_RECOVERY: 0.95},
+)
+
+SCRIPT = b"XY"
+
+
+def build_program(costs):
+    def program(ctx):
+        yield ctx.device_write("tty", b"[start]")
+        data = yield ctx.device_read("tty", 2)
+
+        def make_alt(i, cost):
+            def alt(c):
+                yield c.compute(cost)
+                yield c.device_write("tty", f"<alt{i}>".encode())
+                return f"alt{i}"
+
+            alt.__name__ = f"alt{i}"
+            return alt
+
+        alts = [make_alt(i, cost) for i, cost in enumerate(costs)]
+        out = yield from ctx.run_alternatives(alts)
+        yield ctx.device_write("tty", b"[done]")
+        return (data, out.value)
+
+    return program
+
+
+def costs_for(seed):
+    return [round(c, 3) for c in np.random.default_rng(seed).uniform(0.5, 5.0, 3)]
+
+
+def run_incarnation(seed, storage, tty, plan):
+    """One process incarnation; returns (result, crash, journal)."""
+    journal = CommitJournal(storage, fault_plan=plan)
+    gate = SourceGate(tty, journal)
+    if plan is None:
+        # a fresh incarnation recovers before re-running (no-op when clean);
+        # the original plan never reaches the reopened journal, only the
+        # recovery pass's own DOUBLE_RECOVERY decision
+        recover(journal, gates=[gate])
+    kernel = Kernel(cpus=8, seed=seed, journal=journal)
+    kernel.add_device(gate)
+    pid = kernel.spawn(build_program(costs_for(seed)))
+    try:
+        kernel.run()
+    except JournalCrash as crash:
+        return None, crash, journal
+    return kernel.result_of(pid), None, journal
+
+
+def run_scenario(seed, profile_plan):
+    """Full crash-once lifecycle over one simulated disk + teletype."""
+    storage = MemoryJournalStorage()
+    tty = Teletype("tty", input_script=SCRIPT)
+    result, crash, journal = run_incarnation(seed, storage, tty, profile_plan)
+    recovery = None
+    if crash is not None:
+        # incarnation 2: only the storage bytes and the teletype survived
+        journal2 = CommitJournal(MemoryJournalStorage(storage.load()))
+        gate2 = SourceGate(tty, journal2)
+        recovery = recover(journal2, gates=[gate2], fault_plan=profile_plan)
+        kernel2 = Kernel(cpus=8, seed=seed, journal=journal2)
+        kernel2.add_device(gate2)
+        pid = kernel2.spawn(build_program(costs_for(seed)))
+        kernel2.run()  # no plan: the re-run must complete
+        result = kernel2.result_of(pid)
+        journal = journal2
+    return {
+        "result": result,
+        "output": bytes(tty.output),
+        "input_remaining": tty.input_remaining,
+        "crash": None if crash is None else crash.kind,
+        "recovery": recovery,
+        "journal_bytes": journal.storage.load(),
+    }
+
+
+def control_run(seed):
+    storage = MemoryJournalStorage()
+    tty = Teletype("tty", input_script=SCRIPT)
+    result, crash, _ = run_incarnation(seed, storage, tty, None)
+    assert crash is None
+    return result, bytes(tty.output)
+
+
+@pytest.mark.parametrize("seed", range(FUZZ_SEEDS))
+def test_crash_recover_rerun_is_exactly_once(seed):
+    plan = FaultPlan(seed=seed, rates=PROFILES[seed % len(PROFILES)])
+    expected_result, expected_output = control_run(seed)
+    got = run_scenario(seed, plan)
+    # exactly-once source effects and exactly one committed winner,
+    # regardless of where (or whether) the crash landed
+    assert got["result"] == expected_result
+    assert got["output"] == expected_output
+    assert got["input_remaining"] == 0
+    # byte-identical determinism: the whole lifecycle replays exactly,
+    # journal bytes included
+    again = run_scenario(seed, plan)
+    assert again["crash"] == got["crash"]
+    assert again["output"] == got["output"]
+    assert again["journal_bytes"] == got["journal_bytes"]
+
+
+def test_sweep_covers_every_journal_fault_kind():
+    """The profiles are only worth their complexity if they actually hit."""
+    if FUZZ_SEEDS < 25:
+        pytest.skip("coverage census needs the full sweep")
+    fired = set()
+    doubles = 0
+    for seed in range(FUZZ_SEEDS):
+        plan = FaultPlan(seed=seed, rates=PROFILES[seed % len(PROFILES)])
+        got = run_scenario(seed, plan)
+        if got["crash"] is not None:
+            fired.add(got["crash"])
+        if got["recovery"] is not None and got["recovery"].double_recovery:
+            doubles += 1
+    assert {
+        FaultKind.TORN_RECORD,
+        FaultKind.CRASH_BEFORE_SEAL,
+        FaultKind.CRASH_AFTER_SEAL,
+        FaultKind.PARTIAL_RELEASE,
+    } <= fired
+    assert doubles > 0

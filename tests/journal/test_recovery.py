@@ -1,0 +1,118 @@
+"""The recovery pass: roll forward sealed, roll back torn, idempotent."""
+
+from repro.devices.teletype import Teletype
+from repro.faults import FaultKind, FaultPlan
+from repro.journal import (
+    CommitJournal,
+    MemoryJournalStorage,
+    SourceGate,
+    recover,
+)
+
+
+def survived(journal):
+    """A fresh journal over the dead incarnation's surviving bytes."""
+    return CommitJournal(MemoryJournalStorage(journal.storage.load()))
+
+
+class TestRollback:
+    def test_unsealed_intent_aborted(self):
+        j = CommitJournal()
+        seq = j.begin("commit", group=1)
+        j2 = survived(j)
+        report = recover(j2)
+        assert report.rolled_back == [seq]
+        assert j2.status(seq) == "aborted"
+        assert not report.clean
+
+    def test_clean_journal_reports_clean(self):
+        j = CommitJournal()
+        seq = j.begin("commit")
+        j.seal(seq)
+        j.mark_applied(seq)
+        report = recover(survived(j))
+        assert report.clean
+
+
+class TestRollForward:
+    def test_sealed_nonrelease_gets_applied_marker(self):
+        j = CommitJournal()
+        seq = j.begin("eliminate", wid=4)
+        j.seal(seq)
+        j2 = survived(j)
+        report = recover(j2)
+        assert report.rolled_forward == [seq]
+        assert j2.status(seq) == "applied"
+
+    def test_sealed_release_redone_through_gate(self):
+        j = CommitJournal()
+        seq = j.begin(
+            "release", device="tty", world=7,
+            entries=[(1, 0, 3, b"abc"), (2, 3, 6, b"def")],
+        )
+        j.seal(seq)
+        j.release(seq, "tty", 1, 0, 3)  # first entry landed before the crash
+        tty = Teletype("tty")
+        tty.write(b"abc")
+        j2 = survived(j)
+        gate = SourceGate(tty, j2)
+        report = recover(j2, gates=[gate])
+        assert report.rolled_forward == [seq]
+        assert report.redone_entries == 1
+        assert tty.output == b"abcdef"
+
+    def test_release_without_gate_skipped_not_lost(self):
+        j = CommitJournal()
+        seq = j.begin("release", device="tty", world=7, entries=[(1, 0, 3, b"abc")])
+        j.seal(seq)
+        j2 = survived(j)
+        report = recover(j2)  # no gates
+        assert report.skipped == [seq]
+        assert j2.status(seq) == "sealed"  # left for a later recovery
+        # ...which can then finish the job
+        tty = Teletype("tty")
+        gate = SourceGate(tty, j2)
+        report2 = recover(j2, gates=[gate])
+        assert report2.rolled_forward == [seq]
+        assert tty.output == b"abc"
+
+
+class TestIdempotence:
+    def scenario(self):
+        j = CommitJournal()
+        j.begin("commit", group=1)  # unsealed: to roll back
+        seq = j.begin("release", device="tty", world=7, entries=[(1, 0, 2, b"ok")])
+        j.seal(seq)
+        return survived(j)
+
+    def test_second_recovery_is_noop(self):
+        j = self.scenario()
+        tty = Teletype("tty")
+        gate = SourceGate(tty, j)
+        first = recover(j, gates=[gate])
+        assert not first.clean
+        second = recover(j, gates=[gate])
+        assert second.clean
+        assert tty.output == b"ok"
+
+    def test_double_recovery_fault_runs_two_identical_passes(self):
+        plan = FaultPlan(seed=0, rates={FaultKind.DOUBLE_RECOVERY: 1.0})
+        j = self.scenario()
+        tty = Teletype("tty")
+        gate = SourceGate(tty, j)
+        report = recover(j, gates=[gate], fault_plan=plan)
+        assert report.double_recovery and report.passes == 2
+        # the second pass added nothing: one rollback, one roll-forward,
+        # one redone entry, effects exactly once
+        assert len(report.rolled_back) == 1
+        assert len(report.rolled_forward) == 1
+        assert report.redone_entries == 1
+        assert tty.output == b"ok"
+
+    def test_repaired_bytes_surface_in_report(self):
+        j = CommitJournal()
+        seq = j.begin("commit")
+        j.seal(seq)
+        torn = CommitJournal(MemoryJournalStorage(j.storage.load()[:-4]))
+        report = recover(torn)
+        assert report.repaired_bytes > 0
