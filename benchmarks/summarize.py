@@ -1,20 +1,28 @@
 #!/usr/bin/env python3
-"""Collect benchmarks/results/*.txt into one REPORT.md.
+"""Collect benchmarks/results/ into one REPORT.md (and/or BENCH_OBS.json).
 
 Run after ``pytest benchmarks/ --benchmark-only``:
 
-    python benchmarks/summarize.py
+    python benchmarks/summarize.py          # text results -> REPORT.md
+    python benchmarks/summarize.py --json   # *.json metrics -> BENCH_OBS.json
 
-The report groups the paper's numbered artifacts first, then the
-motivation/ablation/application benches, in a stable order.
+The text report groups the paper's numbered artifacts first, then the
+motivation/ablation/application benches, in a stable order. ``--json``
+merges every per-bench metrics file (written via
+``_harness.report_json``) into one flat machine-readable list, each row
+carrying ``bench``/``name``/``value``/``unit`` (and ``stddev`` when the
+bench measured one).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPORT = os.path.join(os.path.dirname(__file__), "REPORT.md")
+BENCH_OBS = os.path.join(RESULTS_DIR, "BENCH_OBS.json")
 
 SECTIONS = [
     (
@@ -65,6 +73,36 @@ SECTIONS = [
 ]
 
 
+def merge_json() -> None:
+    """Merge results/*.json (except the output itself) into BENCH_OBS.json."""
+    rows = []
+    names = sorted(os.listdir(RESULTS_DIR)) if os.path.isdir(RESULTS_DIR) else []
+    for fname in names:
+        if not fname.endswith(".json") or fname == os.path.basename(BENCH_OBS):
+            continue
+        path = os.path.join(RESULTS_DIR, fname)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {fname}: {exc}")
+            continue
+        bench = doc.get("bench", fname[:-5])
+        for m in doc.get("metrics", []):
+            row = {
+                "bench": bench, "name": m["name"],
+                "value": m["value"], "unit": m.get("unit", ""),
+            }
+            if "stddev" in m:
+                row["stddev"] = m["stddev"]
+            rows.append(row)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(BENCH_OBS, "w") as fh:
+        json.dump({"metrics": rows}, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {BENCH_OBS} ({len(rows)} metrics)")
+
+
 def main() -> None:
     missing = []
     lines = [
@@ -97,4 +135,13 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="merge results/*.json metrics into BENCH_OBS.json",
+    )
+    args = parser.parse_args()
+    if args.json:
+        merge_json()
+    else:
+        main()

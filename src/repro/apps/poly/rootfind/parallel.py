@@ -154,7 +154,7 @@ class ParallelRootfinder:
 
     # -- Table I -------------------------------------------------------------------
     def _parallel_sim(
-        self, runs: Sequence[RootfinderRun], processors: int
+        self, runs: Sequence[RootfinderRun], processors: int, obs=None
     ) -> float:
         """Trace-driven parallel wall clock on a simulated machine.
 
@@ -179,7 +179,7 @@ class ParallelRootfinder:
                             sim_cost=run.elapsed_s)
             )
         outcome = run_alternatives(
-            alternatives, initial={}, backend="sim", cpus=processors
+            alternatives, initial={}, backend="sim", cpus=processors, obs=obs
         )
         if outcome.failed:
             return float("nan")
@@ -191,6 +191,7 @@ class ParallelRootfinder:
         base_seed: int = 0,
         backend: str = "sim",
         processors: int = 2,
+        obs=None,
     ) -> TableOneRow:
         """One Table I row: sequential stats + parallel wall clock.
 
@@ -198,7 +199,8 @@ class ParallelRootfinder:
         on a simulated ``processors``-CPU machine (the paper's 2-CPU
         Titan). ``backend="fork"`` really executes the race on this host,
         optionally pinned to ``processors`` CPUs when
-        ``os.sched_setaffinity`` allows.
+        ``os.sched_setaffinity`` allows. ``obs`` (an
+        :class:`~repro.obs.Observability`) traces the parallel race.
         """
         seeds = [base_seed + i for i in range(procs)]
         runs = self.sequential_runs(seeds)
@@ -206,7 +208,7 @@ class ParallelRootfinder:
         fails = sum(1 for r in runs if r.failed)
 
         if backend == "sim":
-            par = self._parallel_sim(runs, processors)
+            par = self._parallel_sim(runs, processors, obs=obs)
         else:
             restore_affinity = None
             if processors is not None and hasattr(os, "sched_setaffinity"):
@@ -216,7 +218,7 @@ class ParallelRootfinder:
                     os.sched_setaffinity(0, set(list(current)[:processors]))
             try:
                 t0 = time.perf_counter()
-                outcome = self.parallel_run(seeds, backend=backend)
+                outcome = self.parallel_run(seeds, backend=backend, obs=obs)
                 par = time.perf_counter() - t0
                 if outcome.failed:
                     par = float("nan")

@@ -88,6 +88,7 @@ def run_alternatives_sim(
     trace: bool = False,
     fault_plan=None,
     journal=None,
+    obs=None,
 ):
     """Execute one block on a fresh simulation kernel.
 
@@ -95,14 +96,16 @@ def run_alternatives_sim(
     can inspect stats, traces and devices. ``fault_plan`` enables the
     kernel's deterministic fault hooks (message drop/delay, stalls);
     ``journal`` (a :class:`~repro.journal.CommitJournal`) makes the
-    kernel's commit/eliminate/split decisions crash-durable.
+    kernel's commit/eliminate/split decisions crash-durable; ``obs``
+    (an :class:`~repro.obs.Observability`) records world/block spans and
+    speculation metrics in virtual time.
     """
     from repro.kernel import Kernel  # local import: kernel depends on core
 
     alts = _normalize(alternatives)
     kernel = Kernel(
         profile=profile, cpus=cpus, seed=seed, trace=trace,
-        fault_plan=fault_plan, journal=journal,
+        fault_plan=fault_plan, journal=journal, obs=obs,
     )
     box: dict[str, Any] = {}
 
@@ -136,6 +139,7 @@ def run_alternatives(
     attempt: int = 0,
     watchdog=None,
     journal=None,
+    obs=None,
     **kwargs: Any,
 ) -> BlockOutcome:
     """Run a block of mutually exclusive alternatives; return the outcome.
@@ -154,12 +158,19 @@ def run_alternatives(
     backends that have no processes to signal); ``journal`` (a
     :class:`~repro.journal.CommitJournal`) records the block's winner
     durably — the sim backend journals every kernel transition, the
-    others seal a single ``block`` transaction at winner acceptance.
+    others seal a single ``block`` transaction at winner acceptance;
+    ``obs`` (an :class:`~repro.obs.Observability`) records spans and
+    metrics for the block on whichever backend runs it.
     """
+    if obs is not None and fault_plan is not None:
+        # fault-plane correlation: every injection the backend acts on
+        # also lands as an annotation instant + counter increment (the
+        # sim kernel wires this itself via KernelObserver)
+        obs.watch_fault_plan(fault_plan)
     if backend == "sim":
         outcome, _kernel = run_alternatives_sim(
             alternatives, initial, timeout, elimination,
-            fault_plan=fault_plan, journal=journal, **kwargs
+            fault_plan=fault_plan, journal=journal, obs=obs, **kwargs
         )
         return outcome
     if backend == "fork":
@@ -168,7 +179,7 @@ def run_alternatives(
         return run_alternatives_fork(
             alternatives, initial, timeout=timeout, elimination=elimination,
             fault_plan=fault_plan, block_id=block_id, attempt=attempt,
-            watchdog=watchdog, journal=journal, **kwargs
+            watchdog=watchdog, journal=journal, obs=obs, **kwargs
         )
     if backend == "thread":
         from repro.runtime.thread_backend import run_alternatives_thread
@@ -176,7 +187,7 @@ def run_alternatives(
         return run_alternatives_thread(
             alternatives, initial, timeout=timeout, elimination=elimination,
             fault_plan=fault_plan, block_id=block_id, attempt=attempt,
-            journal=journal, **kwargs
+            journal=journal, obs=obs, **kwargs
         )
     if backend == "sequential":
         from repro.runtime.sequential_backend import run_alternatives_sequential
@@ -184,7 +195,7 @@ def run_alternatives(
         return run_alternatives_sequential(
             alternatives, initial, timeout=timeout,
             fault_plan=fault_plan, block_id=block_id, attempt=attempt,
-            journal=journal, **kwargs
+            journal=journal, obs=obs, **kwargs
         )
     raise WorldsError(f"unknown backend {backend!r}")
 

@@ -74,6 +74,7 @@ class RemoteWorldLease:
     beats_missed: int = 0
     consecutive_misses: int = 0
     events: list[LeaseEvent] = field(default_factory=list)
+    obs: "object | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.term_s <= 0 or self.heartbeat_s <= 0:
@@ -81,11 +82,41 @@ class RemoteWorldLease:
         if self.miss_threshold < 1:
             raise NetworkError("miss_threshold must be at least 1")
         self.last_renewal_s = self.granted_at_s
+        self._span_id = -1
+        if self.obs is not None:
+            track = f"lease:{self.lease_id}"
+            self.obs.tracer.set_track_name(
+                track, f"lease {self.lease_id} · node {self.node_id}"
+            )
+            self._span_id = self.obs.tracer.begin(
+                f"lease:{self.lease_id}", cat="distrib", track=track,
+                t=self.granted_at_s, node=self.node_id, term_s=self.term_s,
+            )
         self._log(self.granted_at_s, "granted", f"term={self.term_s:g}s")
 
     # -- bookkeeping -------------------------------------------------------
+    #: terminal lease events and the span disposition each one settles
+    _TERMINAL = {
+        "completed": "committed",
+        "declare-dead": "eliminated",
+    }
+
     def _log(self, at_s: float, event: str, detail: str = "") -> None:
         self.events.append(LeaseEvent(at_s=at_s, event=event, detail=detail))
+        if self.obs is not None:
+            disposition = self._TERMINAL.get(event)
+            if disposition is not None:
+                self.obs.tracer.end(
+                    self._span_id, t=at_s, disposition=disposition,
+                    reason=detail, beats_ok=self.beats_ok,
+                    beats_missed=self.beats_missed,
+                )
+                self._span_id = -1
+            elif event != "granted":
+                self.obs.tracer.instant(
+                    f"lease:{event}", cat="distrib",
+                    track=f"lease:{self.lease_id}", t=at_s, detail=detail,
+                )
 
     def note(self, at_s: float, event: str, detail: str = "") -> None:
         """Record an observation (probe result, …) without a transition."""
@@ -167,8 +198,19 @@ class RemoteNode:
         return None
 
 
-def heartbeat_lost(plan, lease_id: int, beat_index: int) -> bool:
-    """Whether heartbeat ``beat_index`` of ``lease_id`` is lost in flight."""
+def heartbeat_lost(plan, lease_id: int, beat_index: int, t: float | None = None) -> bool:
+    """Whether heartbeat ``beat_index`` of ``lease_id`` is lost in flight.
+
+    A lost beat is recorded on the plan's injection log (``t`` is the
+    virtual time the caller will charge the miss to).
+    """
     if plan is None:
         return False
-    return plan.decide(HEARTBEAT_SITE, lease_id, beat_index).kind is FaultKind.HEARTBEAT_MISS
+    lost = plan.decide(HEARTBEAT_SITE, lease_id, beat_index).kind is FaultKind.HEARTBEAT_MISS
+    if lost:
+        plan.note_injection(
+            HEARTBEAT_SITE, FaultKind.HEARTBEAT_MISS,
+            detail=f"beat {beat_index}", t=t, track=f"lease:{lease_id}",
+            lease=lease_id, beat=beat_index,
+        )
+    return lost

@@ -109,6 +109,7 @@ class SimulatedLink:
     ledger: list[TransferRecord] = field(default_factory=list)
     fault_plan: "object | None" = None
     link_id: int = 0
+    obs: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.jitter < 0:
@@ -119,6 +120,17 @@ class SimulatedLink:
         self.fault_events: list[LinkFaultEvent] = []
         self.arrival_order: list[int] = []
         self._reorder_hold: int | None = None
+        self._xfer_c = None
+        if self.obs is not None:
+            self._xfer_c = self.obs.registry.counter(
+                "mw_net_transfers_total", "Link transfer attempts",
+                labelnames=("link", "result"),
+            )
+            if self.fault_plan is not None:
+                self.obs.watch_fault_plan(self.fault_plan)
+            self.obs.tracer.set_track_name(
+                f"link:{self.link_id}", f"link {self.link_id}"
+            )
 
     def transfer_time(self, nbytes: int) -> float:
         """Nominal (jitter- and fault-free) time to ship ``nbytes``."""
@@ -138,6 +150,25 @@ class SimulatedLink:
         self.fault_events.append(
             LinkFaultEvent(seq=seq, kind=kind.value, at_s=self.clock, detail=detail)
         )
+        if self.fault_plan is not None:
+            self.fault_plan.note_injection(
+                LINK_SITE, kind, detail=detail, t=self.clock,
+                track=f"link:{self.link_id}", link=self.link_id, seq=seq,
+            )
+
+    def _xfer_span(
+        self, seq: int, attempt: int, nbytes: int, start: float,
+        seconds: float, *, disposition: str, fault: str | None = None,
+    ) -> None:
+        if self.obs is None:
+            return
+        attrs = {"seq": seq, "attempt": attempt, "nbytes": nbytes}
+        if fault is not None:
+            attrs["fault"] = fault
+        self.obs.tracer.complete(
+            f"xfer:{seq}", start, start + seconds, cat="net",
+            track=f"link:{self.link_id}", disposition=disposition, **attrs,
+        )
 
     def _check_partition(self, seq: int) -> None:
         plan = self.fault_plan
@@ -149,6 +180,8 @@ class SimulatedLink:
                     seq=seq, ok=False, fault=FaultKind.LINK_FLAP.value,
                 )
             )
+            if self._xfer_c is not None:
+                self._xfer_c.inc(link=str(self.link_id), result="partitioned")
             raise LinkPartitioned(
                 f"link {self.link_id} is partitioned at t={self.clock:.6f}s"
             )
@@ -184,7 +217,14 @@ class SimulatedLink:
                     seq=seq, attempt=attempt, ok=False, fault=kind.value,
                 )
             )
+            started = self.clock
             self.clock += seconds
+            self._xfer_span(
+                seq, attempt, nbytes, started, seconds,
+                disposition="aborted", fault=kind.value,
+            )
+            if self._xfer_c is not None:
+                self._xfer_c.inc(link=str(self.link_id), result="dropped")
             raise TransferDropped(
                 f"transfer seq={seq} ({nbytes} bytes) lost on link {self.link_id}"
             )
@@ -195,7 +235,14 @@ class SimulatedLink:
                 fault=kind.value if kind is not None else None,
             )
         )
+        started = self.clock
         self.clock += seconds
+        self._xfer_span(
+            seq, attempt, nbytes, started, seconds, disposition="committed",
+            fault=kind.value if kind is not None else None,
+        )
+        if self._xfer_c is not None:
+            self._xfer_c.inc(link=str(self.link_id), result="ok")
         payload_fault = kind if kind in (
             FaultKind.XFER_DUP, FaultKind.XFER_CORRUPT, FaultKind.XFER_REORDER
         ) else None

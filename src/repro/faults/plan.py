@@ -122,6 +122,10 @@ JOURNAL_SITE = "journal"
 #: DOUBLE_RECOVERY (transaction seqs start at 1, so 0 never collides).
 RECOVERY_KEY = 0
 
+#: Cap on the per-plan injection log (a long soak must not grow without
+#: bound; the metrics counters keep exact totals past this point).
+_MAX_INJECTION_LOG = 10_000
+
 #: Which kinds may fire at each site, in trial order (first hit wins).
 SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
     CHILD_SITE: (
@@ -198,6 +202,14 @@ class FaultPlan:
     partition_window_s: float = 1.0
     flap_s: float = 0.25
     remote_crash_fraction: float = 0.5
+    #: Optional telemetry sink (see :meth:`note_injection`); wired by
+    #: :meth:`repro.obs.Observability.watch_fault_plan`. Excluded from
+    #: equality so plans still compare by schedule.
+    observer: object = field(default=None, repr=False, compare=False)
+    #: Every fault actually injected through this plan (decisions that
+    #: *fired at a live injection site*, not mere queries). Bounded by
+    #: :data:`_MAX_INJECTION_LOG`.
+    injections: list = field(default_factory=list, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for kind, rate in self.rates.items():
@@ -249,6 +261,34 @@ class FaultPlan:
             if draw < self.rates.get(kind, 0.0):
                 return FaultDecision(kind, self._param_for(kind))
         return FaultDecision()
+
+    # -- telemetry ---------------------------------------------------------
+    def note_injection(
+        self,
+        site: str,
+        kind,
+        detail: str = "",
+        t: float | None = None,
+        track=None,
+        **data,
+    ) -> None:
+        """Record that a decided fault was actually injected.
+
+        :meth:`decide` is a pure query — callers probe it freely — so the
+        correlation record is written here, by the code that *acted* on a
+        firing decision. With an ``observer`` wired (an
+        :class:`~repro.obs.Observability`), the injection also lands as a
+        ``cat="fault"`` annotation instant at time ``t`` on ``track``,
+        visibly linking cause to the retry/degradation effect around it.
+        """
+        kind_label = kind.value if isinstance(kind, FaultKind) else str(kind)
+        if len(self.injections) < _MAX_INJECTION_LOG:
+            rec = {"site": site, "kind": kind_label, **data}
+            if detail:
+                rec["detail"] = detail
+            self.injections.append(rec)
+        if self.observer is not None:
+            self.observer(site, kind_label, t=t, detail=detail, track=track, **data)
 
     # -- convenience -------------------------------------------------------
     def schedule(

@@ -80,6 +80,11 @@ class Supervisor:
         restarted supervisor finding its ``block_id`` already applied
         replays the recorded winner instead of re-running the block —
         exactly-once across process incarnations.
+    obs:
+        An :class:`~repro.obs.Observability`; threaded through to every
+        backend attempt, and the supervisor's own decisions (retry
+        waves, degradation hops, remote re-landings) are recorded as
+        metrics and annotation events.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class Supervisor:
         fault_plan=None,
         block_id: int = 0,
         journal=None,
+        obs=None,
     ) -> None:
         if max_retries < 0:
             raise WorldsError(f"max_retries must be non-negative, got {max_retries}")
@@ -105,6 +111,15 @@ class Supervisor:
         self.fault_plan = fault_plan
         self.block_id = block_id
         self.journal = journal
+        self.obs = obs
+        if obs is not None and fault_plan is not None:
+            obs.watch_fault_plan(fault_plan)
+
+    def _count(self, name: str, help: str = "", **labels: str) -> None:
+        if self.obs is not None:
+            self.obs.registry.counter(
+                name, help, labelnames=tuple(sorted(labels))
+            ).inc(**labels)
 
     # ------------------------------------------------------------------
     def _chain_from(self, backend: str) -> tuple[str, ...]:
@@ -145,6 +160,15 @@ class Supervisor:
                 degraded.append(
                     {"backend": backend, "attempt": attempt, "error": str(exc)}
                 )
+                self._count(
+                    "mw_degradations_total", "Backend fallback hops",
+                    src=backend, dst=chain[1],
+                )
+                if self.obs is not None:
+                    self.obs.tracer.instant(
+                        f"degrade:{backend}->{chain[1]}", cat="supervisor",
+                        track="supervisor", attempt=attempt, error=str(exc),
+                    )
                 chain.pop(0)
 
     # ------------------------------------------------------------------
@@ -183,7 +207,12 @@ class Supervisor:
                     elapsed_s=0.0,
                 )
                 replayed.extras["journal_recovered"] = True
+                self._count(
+                    "mw_supervised_blocks_total", "Supervised block outcomes",
+                    result="journal-replayed",
+                )
                 return replayed
+        kwargs.setdefault("obs", self.obs)
         alts = _normalize(alternatives)
         chain = list(self._chain_from(backend))
         degraded: list[dict] = []
@@ -244,6 +273,20 @@ class Supervisor:
         outcome.extras["backend"] = chain[0]
         if degraded:
             outcome.extras["degraded"] = degraded
+        if outcome.winner is not None:
+            result = "won"
+        elif outcome.timed_out:
+            result = "timeout"
+        else:
+            result = "failed"
+        self._count(
+            "mw_supervised_blocks_total", "Supervised block outcomes",
+            result=result,
+        )
+        if len(history) > 1 and self.obs is not None:
+            self.obs.registry.counter(
+                "mw_retry_waves_total", "Retry waves beyond the first attempt",
+            ).inc(float(len(history) - 1))
         return outcome
 
     # ------------------------------------------------------------------
@@ -295,7 +338,7 @@ class Supervisor:
         if lease is None:
             lease = RemoteWorldLease(
                 lease_id=self.block_id, node_id=rfork.node_id,
-                granted_at_s=link.clock,
+                granted_at_s=link.clock, obs=self.obs,
             )
         node = RemoteNode(node_id=lease.node_id, plan=plan)
 
@@ -333,6 +376,15 @@ class Supervisor:
             done_at = t0 + work_s
             crash_rel = node.crash_time(work_s, attempt=0)
             crash_at = None if crash_rel is None else t0 + crash_rel
+            if crash_at is not None and plan is not None:
+                from repro.faults.plan import REMOTE_SITE, FaultKind
+
+                plan.note_injection(
+                    REMOTE_SITE, FaultKind.REMOTE_CRASH,
+                    detail=f"node {lease.node_id} dies at t={crash_at:.6f}s",
+                    t=crash_at, track=f"lease:{lease.lease_id}",
+                    node=lease.node_id, lease=lease.lease_id,
+                )
             remote_report["crash_at_s"] = crash_at
             beat = 0
             while lease.alive:
@@ -342,7 +394,7 @@ class Supervisor:
                 if node_alive and now >= done_at:
                     lease.complete(done_at)
                     break
-                lost = heartbeat_lost(plan, lease.lease_id, beat) or (
+                lost = heartbeat_lost(plan, lease.lease_id, beat, t=now) or (
                     plan is not None and plan.link_down(link.link_id, now)
                 )
                 if node_alive and not lost:
@@ -383,6 +435,10 @@ class Supervisor:
             outcome = BlockOutcome(winner=winner, elapsed_s=time.perf_counter() - t_wall)
         else:
             # remote world is gone: re-land the work on the local ladder
+            self._count(
+                "mw_relandings_total", "Remote worlds re-landed locally",
+                reason=dead_reason,
+            )
             outcome = self.run([fn], initial=state, backend=local_backend)
             outcome.extras["relanded"] = True
             outcome.extras.setdefault("degraded", []).insert(

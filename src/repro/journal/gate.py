@@ -43,7 +43,7 @@ from typing import Any
 
 from repro.devices.device import Device, SinkDevice
 from repro.errors import InputExhausted, JournalCrash
-from repro.faults.plan import FaultKind
+from repro.faults.plan import JOURNAL_SITE, FaultKind
 from repro.journal.wal import CommitJournal
 
 
@@ -79,6 +79,19 @@ class SourceGate(SinkDevice):
         self.real_reads = 0
         self.replayed_reads = 0
         self._committed_worlds: set[int] = set()
+        if journal.obs is not None:
+            # Absorb the gate's ad-hoc counters as callback gauges. A
+            # fresh gate over a recovered journal has the same device
+            # name and simply rebinds the shims to itself.
+            from repro.obs.metrics import bind_attr_gauges
+
+            slug = "".join(c if c.isalnum() else "_" for c in self.name)
+            bind_attr_gauges(
+                journal.obs.registry, self,
+                ("released_bytes", "skipped_bytes", "double_commits",
+                 "real_reads", "replayed_reads"),
+                prefix=f"mw_gate_{slug}",
+            )
 
     @property
     def frontier(self) -> int:
@@ -176,6 +189,12 @@ class SourceGate(SinkDevice):
         limit = len(staged) // 2 if armed is FaultKind.PARTIAL_RELEASE else None
         for i, (eid, pos_start, pos_end, data) in enumerate(staged):
             if limit is not None and i >= limit:
+                if self.journal.fault_plan is not None:
+                    self.journal.fault_plan.note_injection(
+                        JOURNAL_SITE, armed, detail=f"txn {seq}",
+                        track="journal", txn=seq, device=self.name,
+                        released=i, staged=len(staged),
+                    )
                 raise JournalCrash(
                     f"injected partial release: {i} of {len(staged)} effects "
                     f"released (txn {seq})",

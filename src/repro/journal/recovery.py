@@ -80,14 +80,39 @@ def recover(journal: CommitJournal, gates=(), fault_plan=None) -> RecoveryReport
             plan.decide(JOURNAL_SITE, RECOVERY_KEY).kind
             is FaultKind.DOUBLE_RECOVERY
         )
+        if double:
+            plan.note_injection(
+                JOURNAL_SITE, FaultKind.DOUBLE_RECOVERY,
+                detail="recovery pass will run twice", track="journal",
+            )
     report = RecoveryReport(
         repaired_bytes=journal.repaired_bytes,
         passes=2 if double else 1,
         double_recovery=double,
     )
     gate_map = {gate.name: gate for gate in gates}
-    for _ in range(report.passes):
-        _one_pass(journal, gate_map, report)
+    obs = journal.obs
+    if obs is not None:
+        with obs.tracer.span("recovery", cat="journal", track="journal") as h:
+            for _ in range(report.passes):
+                _one_pass(journal, gate_map, report)
+            h.settle(
+                "committed",
+                rolled_forward=len(report.rolled_forward),
+                rolled_back=len(report.rolled_back),
+                skipped=len(report.skipped),
+                redone_entries=report.redone_entries,
+                repaired_bytes=report.repaired_bytes,
+                passes=report.passes,
+                clean=report.clean,
+            )
+        c = obs.registry.counter(
+            "mw_recoveries_total", "Recovery passes run", labelnames=("clean",)
+        )
+        c.inc(clean=str(report.clean).lower())
+    else:
+        for _ in range(report.passes):
+            _one_pass(journal, gate_map, report)
     return report
 
 

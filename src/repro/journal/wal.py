@@ -139,11 +139,29 @@ class CommitJournal:
     fault_plan:
         Optional :class:`~repro.faults.plan.FaultPlan`; enables the
         ``journal`` fault site (see the module docstring).
+    obs:
+        Optional :class:`~repro.obs.Observability`. Each transaction
+        becomes one span on the ``journal`` track (opened at intent,
+        settled ``committed`` at applied / ``aborted`` at abort), and
+        every protocol step increments
+        ``mw_journal_txns_total{kind,phase}``. Journal spans use the
+        tracer's wall clock.
     """
 
-    def __init__(self, storage=None, fault_plan=None) -> None:
+    def __init__(self, storage=None, fault_plan=None, obs=None) -> None:
         self.storage = storage if storage is not None else MemoryJournalStorage()
         self.fault_plan = fault_plan
+        self.obs = obs
+        self._txn_spans: dict[int, int] = {}
+        self._txn_c = None
+        if obs is not None:
+            self._txn_c = obs.registry.counter(
+                "mw_journal_txns_total", "Journal protocol steps",
+                labelnames=("kind", "phase"),
+            )
+            obs.tracer.set_track_name("journal", "commit journal")
+            if fault_plan is not None:
+                obs.watch_fault_plan(fault_plan)
         self._records: list[dict] = []
         self._intents: dict[int, dict] = {}
         self._sealed: set[int] = set()
@@ -244,6 +262,10 @@ class CommitJournal:
         if fault is FaultKind.TORN_RECORD:
             blob = self._frame(record)
             self.storage.append(blob[: max(1, len(blob) // 2)])
+            self.fault_plan.note_injection(
+                JOURNAL_SITE, fault, detail=f"torn intent (txn {seq})",
+                track="journal", txn=seq, txn_kind=kind,
+            )
             raise JournalCrash(
                 f"injected torn intent record (txn {seq}, kind {kind!r})",
                 kind=fault, seq=seq,
@@ -251,6 +273,14 @@ class CommitJournal:
         self._append(record)
         if fault in _ARMED_KINDS:
             self._armed[seq] = fault
+        if self.obs is not None:
+            self._txn_c.inc(kind=kind, phase="intent")
+            sid = self.obs.tracer.begin(
+                f"txn:{kind}", cat="journal", track="journal",
+                seq=seq, txn_kind=kind,
+            )
+            if sid >= 0:
+                self._txn_spans[seq] = sid
         return seq
 
     def seal(self, seq: int) -> None:
@@ -258,13 +288,17 @@ class CommitJournal:
         self._check_open(seq, "seal")
         if self._armed.get(seq) is FaultKind.CRASH_BEFORE_SEAL:
             self._armed.pop(seq)
+            self._note_crash(seq, FaultKind.CRASH_BEFORE_SEAL)
             raise JournalCrash(
                 f"injected crash before seal (txn {seq})",
                 kind=FaultKind.CRASH_BEFORE_SEAL, seq=seq,
             )
         self._append({"t": "seal", "seq": seq})
+        if self.obs is not None:
+            self._txn_c.inc(kind=self._txn_kind(seq), phase="seal")
         if self._armed.get(seq) is FaultKind.CRASH_AFTER_SEAL:
             self._armed.pop(seq)
+            self._note_crash(seq, FaultKind.CRASH_AFTER_SEAL)
             raise JournalCrash(
                 f"injected crash after seal, before apply (txn {seq})",
                 kind=FaultKind.CRASH_AFTER_SEAL, seq=seq,
@@ -281,6 +315,11 @@ class CommitJournal:
         except JournalError:
             # unpicklable apply data: record completion without it
             self._append({"t": "applied", "seq": seq, "data": {}})
+        if self.obs is not None:
+            self._txn_c.inc(kind=self._txn_kind(seq), phase="applied")
+            self.obs.tracer.end(
+                self._txn_spans.pop(seq, -1), disposition="committed"
+            )
 
     def abort(self, seq: int, reason: str = "") -> None:
         """Roll ``seq`` back. Idempotent; a sealed txn cannot be aborted."""
@@ -291,6 +330,23 @@ class CommitJournal:
         if seq not in self._intents:
             raise JournalError(f"cannot abort unknown txn {seq}")
         self._append({"t": "abort", "seq": seq, "reason": reason})
+        if self.obs is not None:
+            self._txn_c.inc(kind=self._txn_kind(seq), phase="abort")
+            self.obs.tracer.end(
+                self._txn_spans.pop(seq, -1),
+                disposition="aborted", reason=reason,
+            )
+
+    def _txn_kind(self, seq: int) -> str:
+        intent = self._intents.get(seq)
+        return intent["kind"] if intent else "?"
+
+    def _note_crash(self, seq: int, fault: FaultKind) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.note_injection(
+                JOURNAL_SITE, fault, detail=f"txn {seq}",
+                track="journal", txn=seq, txn_kind=self._txn_kind(seq),
+            )
 
     def _check_open(self, seq: int, verb: str) -> None:
         if seq not in self._intents:

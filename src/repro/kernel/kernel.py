@@ -221,6 +221,13 @@ class Kernel:
         :meth:`run` — the process is dead at that instant, with only the
         journal bytes and real device effects surviving. When None
         (default) no journaling happens and behaviour is unchanged.
+    obs:
+        Optional :class:`~repro.obs.Observability`. When set, the kernel
+        emits one span per world (track = wid, carrying pid / lineage /
+        disposition), one span per alternative block (with the commit
+        latency breakdown), split/fault annotation instants, and the
+        ``mw_worlds_total`` / ``mw_mem_*`` metrics — all in virtual
+        time. When None (default) no telemetry calls happen at all.
     """
 
     def __init__(
@@ -233,6 +240,7 @@ class Kernel:
         max_worlds: int = 10_000,
         fault_plan=None,
         journal=None,
+        obs=None,
     ) -> None:
         """``max_worlds`` bounds total world creation — the defence
         against the abstract's "combinatorial explosion" when message
@@ -254,6 +262,11 @@ class Kernel:
         self.fault_plan = fault_plan
         self.journal = journal
         self.faults_injected: list[dict] = []
+        self.obs = None
+        if obs is not None:
+            from repro.obs.integrate import KernelObserver
+
+            self.obs = KernelObserver(obs, self)
 
         self.now = 0.0
         self.worlds: dict[int, SimProcess] = {}
@@ -422,6 +435,8 @@ class Kernel:
         self.worlds[world.wid] = world
         self.pid_worlds.setdefault(world.pid, []).append(world.wid)
         self.trace.record(self.now, "spawn", world.pid, wid=world.wid, name=world.name)
+        if self.obs is not None:
+            self.obs.world_started(self.now, world)
 
     def _start_world(self, world: SimProcess) -> None:
         """Create the generator and advance to its first real operation."""
@@ -741,6 +756,10 @@ class Kernel:
         self.trace.record(
             self.now, "fault-stall", world.pid, wid=world.wid, extra_s=decision.param
         )
+        self.fault_plan.note_injection(
+            COMPUTE_SITE, "stall", t=self.now, track=world.wid,
+            wid=world.wid, pid=world.pid, extra_s=decision.param,
+        )
         return decision.param
 
     def _on_slice(self, event: _Event) -> None:
@@ -861,6 +880,10 @@ class Kernel:
                     self.now, "fault-msg-drop", msg.dest,
                     msg_id=msg.msg_id, sender=msg.sender,
                 )
+                self.fault_plan.note_injection(
+                    "message", "msg-drop", t=self.now,
+                    msg_id=msg.msg_id, sender=msg.sender, dest=msg.dest,
+                )
                 return
             if verdict == "delay":
                 self.faults_injected.append(
@@ -869,6 +892,10 @@ class Kernel:
                 self.trace.record(
                     self.now, "fault-msg-delay", msg.dest,
                     msg_id=msg.msg_id, delay_s=delay_s,
+                )
+                self.fault_plan.note_injection(
+                    "message", "msg-delay", t=self.now,
+                    msg_id=msg.msg_id, delay_s=delay_s, dest=msg.dest,
                 )
                 self._push_event(self.now + delay_s, "route", (msg,))
                 return
@@ -979,6 +1006,8 @@ class Kernel:
         clone.state = ProcState.BLOCKED_RECV
         clone.mailbox = orig.mailbox.clone(orig.pid)
         self._register(clone)
+        if self.obs is not None:
+            self.obs.split(self.now, orig, clone)
         self._fork_readers(orig.wid, clone.wid)
         deadline = orig.blocked_recv_deadline
         if deadline is not None and deadline > self.now:
@@ -1067,6 +1096,8 @@ class Kernel:
         group.overhead.setup_s += total_fork
         self.groups[group.group_id] = group
         world.own_group = group
+        if self.obs is not None:
+            self.obs.block_opened(group, world)
 
         spawn_list: list[tuple[int, Alternative]] = []
         child_pids: list[int] = []
@@ -1173,6 +1204,8 @@ class Kernel:
         world.finished_at = self.now
         self._committed.add(world.pid)
         self.trace.record(self.now, "done", world.pid, wid=world.wid)
+        if self.obs is not None:
+            self.obs.world_finished(self.now, world, "committed")
         self._resolve_fact(world_key(world.wid), True)
         self._resolve_fact(world.pid, True)
 
@@ -1210,6 +1243,10 @@ class Kernel:
         self.trace.record(
             self.now, "commit", world.pid, wid=world.wid, group=group.group_id
         )
+        if self.obs is not None:
+            self.obs.world_finished(
+                self.now, world, "committed", group=group.group_id
+            )
         # count the victims first, then let the completion fact eliminate
         # them (they all assume ¬complete(winner))
         losers = [
@@ -1325,6 +1362,8 @@ class Kernel:
             children=sorted(group.records.values(), key=lambda r: r.index),
         )
         parent.own_group = None
+        if self.obs is not None:
+            self.obs.block_settled(self.now, group)
         if parent_cost > 0:
             self._park_costed(parent, _InternalOp("alt-outcome"), parent_cost, outcome)
         else:
@@ -1376,6 +1415,8 @@ class Kernel:
         world.error = reason
         world.finished_at = self.now
         self.trace.record(self.now, "abort", world.pid, wid=world.wid, reason=reason)
+        if self.obs is not None:
+            self.obs.world_finished(self.now, world, "aborted", reason=reason)
         self._after_world_death(world, reason, status="aborted")
 
     def _kill_world(self, world: SimProcess, reason: str, status: str = "eliminated") -> None:
@@ -1391,6 +1432,10 @@ class Kernel:
         world.error = reason
         world.finished_at = self.now
         self.trace.record(self.now, "kill", world.pid, wid=world.wid, reason=reason)
+        if self.obs is not None:
+            self.obs.world_finished(
+                self.now, world, "eliminated", reason=reason, status=status
+            )
         self._after_world_death(world, reason, status=status)
         if elim_seq is not None:
             self.journal.mark_applied(elim_seq)

@@ -32,11 +32,17 @@ class Trace:
         self.enabled = enabled
         self.limit = limit
         self.events: list[TraceEvent] = []
+        #: Events discarded because ``limit`` was reached. A truncated
+        #: log is not a complete one: query helpers still work, but
+        #: ordering assertions against a clipped trace are unsound, so
+        #: callers should check this (``render()`` flags it too).
+        self.dropped = 0
 
     def record(self, time: float, kind: str, pid: int, **info: Any) -> None:
         if not self.enabled:
             return
         if self.limit is not None and len(self.events) >= self.limit:
+            self.dropped += 1
             return
         self.events.append(TraceEvent(time, kind, pid, info))
 
@@ -47,7 +53,14 @@ class Trace:
         return [e for e in self.events if e.pid == pid]
 
     def render(self) -> str:
-        return "\n".join(str(e) for e in self.events)
+        body = "\n".join(str(e) for e in self.events)
+        if self.dropped:
+            note = (
+                f"[trace truncated: {self.dropped} event(s) dropped past "
+                f"limit={self.limit}]"
+            )
+            return f"{body}\n{note}" if body else note
+        return body
 
     def __len__(self) -> int:
         return len(self.events)

@@ -301,6 +301,7 @@ def run_alternatives_fork(
     watchdog: WatchdogPolicy | None = None,
     elim_grace_s: float = 0.0,
     journal=None,
+    obs=None,
 ) -> BlockOutcome:
     """Execute a block of alternatives as real forked processes.
 
@@ -333,6 +334,10 @@ def run_alternatives_fork(
         if fault_plan is not None and pid not in lost_checked:
             lost_checked.add(pid)
             if fault_plan.decide(KILL_SITE, block_id, index, attempt).fires:
+                fault_plan.note_injection(
+                    KILL_SITE, "kill-fail", block_id=block_id,
+                    index=index, attempt=attempt, backend="fork",
+                )
                 return False
         try:
             os.kill(pid, sig)
@@ -362,12 +367,20 @@ def run_alternatives_fork(
             if fault_plan.decide(SPAWN_SITE, block_id, index, attempt).fires:
                 spawn_exc = BlockingIOError(errno.EAGAIN, "injected: resource temporarily unavailable")
                 _abort_spawn(children)
+                fault_plan.note_injection(
+                    SPAWN_SITE, "spawn-fail", block_id=block_id,
+                    index=index, attempt=attempt, backend="fork",
+                )
                 raise SpawnError(
                     f"spawning alternative {alt.name!r} failed: {spawn_exc}"
                 ) from spawn_exc
             child_fault = fault_plan.decide(CHILD_SITE, block_id, index, attempt)
             if child_fault.fires:
                 injected.append({"index": index, "name": alt.name, "kind": child_fault.kind.value})
+                fault_plan.note_injection(
+                    CHILD_SITE, child_fault.kind, block_id=block_id,
+                    index=index, attempt=attempt, backend="fork",
+                )
         try:
             read_fd, write_fd = os.pipe()
             pid = os.fork()
@@ -594,6 +607,13 @@ def run_alternatives_fork(
         zombies = _reap_verified(leftover_pids)
         if zombies:  # pragma: no cover - requires a truly unkillable child
             outcome.extras["zombies"] = zombies
+    if obs is not None:
+        from repro.obs.integrate import record_block
+
+        record_block(
+            obs, backend="fork", block_id=block_id, attempt=attempt,
+            t_start=t_start, outcome=outcome,
+        )
     return outcome
 
 

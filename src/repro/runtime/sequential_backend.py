@@ -36,6 +36,7 @@ def run_alternatives_sequential(
     block_id: int = 0,
     attempt: int = 0,
     journal=None,
+    obs=None,
     **_ignored: Any,
 ) -> BlockOutcome:
     """Try alternatives in order; first guard-accepted result wins."""
@@ -65,6 +66,10 @@ def run_alternatives_sequential(
             fault = fault_plan.decide(CHILD_SITE, block_id, index, attempt)
             if fault.fires:
                 injected.append({"index": index, "name": alt.name, "kind": fault.kind.value})
+                fault_plan.note_injection(
+                    CHILD_SITE, fault.kind, block_id=block_id,
+                    index=index, attempt=attempt, backend="sequential",
+                )
         t0 = time.perf_counter()
         if fault is not None and fault.fires:
             if fault.kind is FaultKind.SLOW_START:
@@ -146,4 +151,11 @@ def run_alternatives_sequential(
     if injected:
         outcome.extras["injected_faults"] = injected
     outcome.extras["sequential"] = True
+    if obs is not None:
+        from repro.obs.integrate import record_block
+
+        record_block(
+            obs, backend="sequential", block_id=block_id, attempt=attempt,
+            t_start=t_start, outcome=outcome,
+        )
     return outcome

@@ -123,6 +123,7 @@ def run_alternatives_thread(
     block_id: int = 0,
     attempt: int = 0,
     journal=None,
+    obs=None,
     **_ignored: Any,
 ) -> BlockOutcome:
     """Execute a block of plain-callable alternatives on threads.
@@ -159,12 +160,20 @@ def run_alternatives_thread(
         if fault_plan is not None:
             if fault_plan.decide(SPAWN_SITE, block_id, index, attempt).fires:
                 token.cancel()  # abandon already-started siblings
+                fault_plan.note_injection(
+                    SPAWN_SITE, "spawn-fail", block_id=block_id,
+                    index=index, attempt=attempt, backend="thread",
+                )
                 raise SpawnError(
                     f"spawning alternative {alt.name!r} failed: injected thread-start failure"
                 )
             fault = fault_plan.decide(CHILD_SITE, block_id, index, attempt)
             if fault.fires:
                 injected.append({"index": index, "name": alt.name, "kind": fault.kind.value})
+                fault_plan.note_injection(
+                    CHILD_SITE, fault.kind, block_id=block_id,
+                    index=index, attempt=attempt, backend="thread",
+                )
         workspace = copy.deepcopy(base)
         workspace["_cancel"] = token
         try:
@@ -243,4 +252,11 @@ def run_alternatives_thread(
     outcome.extras["elimination_policy"] = elimination.value
     if injected:
         outcome.extras["injected_faults"] = injected
+    if obs is not None:
+        from repro.obs.integrate import record_block
+
+        record_block(
+            obs, backend="thread", block_id=block_id, attempt=attempt,
+            t_start=t_start, outcome=outcome,
+        )
     return outcome

@@ -37,3 +37,36 @@ def test_event_str_sorted_info():
     event = TraceEvent(0.5, "deliver", 3, {"z": 1, "a": 2})
     rendered = str(event)
     assert rendered.index("a=2") < rendered.index("z=1")
+
+
+def test_limit_counts_drops():
+    trace = Trace(limit=2)
+    for i in range(5):
+        trace.record(float(i), "tick", i)
+    assert len(trace) == 2
+    assert trace.dropped == 3
+
+
+def test_no_drops_when_under_limit():
+    trace = Trace(limit=10)
+    trace.record(0.0, "tick", 0)
+    assert trace.dropped == 0
+    assert "truncated" not in trace.render()
+
+
+def test_render_notes_truncation():
+    trace = Trace(limit=1)
+    trace.record(0.0, "tick", 0)
+    trace.record(1.0, "tick", 1)
+    trace.record(2.0, "tick", 2)
+    text = trace.render()
+    assert "truncated" in text
+    assert "2 event(s) dropped" in text
+    assert "limit=1" in text
+
+
+def test_disabled_trace_counts_no_drops():
+    trace = Trace(enabled=False)
+    for i in range(3):
+        trace.record(float(i), "tick", i)
+    assert trace.dropped == 0

@@ -1,0 +1,57 @@
+"""Tests for the MemoryStats counter bundle and WriteFractionReport."""
+
+import pytest
+
+from repro.memory.stats import MemoryStats, WriteFractionReport
+
+FIELDS = (
+    "frames_allocated", "frames_freed", "cow_faults", "pages_copied",
+    "bytes_copied", "page_reads", "page_writes", "forks", "pte_copies",
+)
+
+
+def test_fresh_stats_are_zero():
+    stats = MemoryStats()
+    assert all(getattr(stats, f) == 0 for f in FIELDS)
+
+
+def test_reset_zeroes_every_counter():
+    stats = MemoryStats()
+    for i, field in enumerate(FIELDS, start=1):
+        setattr(stats, field, i)
+    stats.reset()
+    assert all(getattr(stats, f) == 0 for f in FIELDS)
+
+
+def test_snapshot_is_independent_copy():
+    stats = MemoryStats(cow_faults=3, forks=1)
+    snap = stats.snapshot()
+    assert snap is not stats
+    assert snap == stats
+    stats.cow_faults += 5
+    assert snap.cow_faults == 3  # unchanged by later mutation
+
+
+def test_delta_measures_interval():
+    stats = MemoryStats(cow_faults=2, pte_copies=10, bytes_copied=100)
+    before = stats.snapshot()
+    stats.cow_faults += 4
+    stats.pte_copies += 20
+    stats.page_writes += 7
+    delta = stats.delta(before)
+    assert delta.cow_faults == 4
+    assert delta.pte_copies == 20
+    assert delta.page_writes == 7
+    assert delta.bytes_copied == 0  # untouched counters stay zero
+
+
+def test_delta_of_snapshot_against_itself_is_zero():
+    stats = MemoryStats(forks=2, pages_copied=9)
+    zero = stats.delta(stats.snapshot())
+    assert zero == MemoryStats()
+
+
+def test_write_fraction_report():
+    report = WriteFractionReport(pages_inherited=40, pages_written=10)
+    assert report.fraction == pytest.approx(0.25)
+    assert WriteFractionReport(pages_inherited=0, pages_written=0).fraction == 0.0

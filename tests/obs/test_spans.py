@@ -1,0 +1,104 @@
+"""Tests for the span tracer: lifecycle, dispositions, bounded buffer."""
+
+import pytest
+
+from repro.obs.spans import DISPOSITIONS, NULL_TRACER, Tracer
+
+
+def make_tracer(**kwargs):
+    # a manual clock keeps starts/ends deterministic
+    box = {"t": 100.0}
+    tracer = Tracer(clock=lambda: box["t"], **kwargs)
+    return tracer, box
+
+
+def test_begin_end_relative_times():
+    tracer, box = make_tracer()
+    sid = tracer.begin("w", track=1, wid=1, pid=10, lineage=(1,))
+    box["t"] = 102.5
+    tracer.end(sid, disposition="committed", cpu_s=2.0)
+    (span,) = tracer.spans
+    assert span.start == 0.0
+    assert span.end == 2.5
+    assert span.duration == 2.5
+    assert span.disposition == "committed"
+    assert span.attrs["cpu_s"] == 2.0
+    assert span.lineage == (1,)
+
+
+def test_explicit_t_overrides_clock():
+    tracer, _ = make_tracer()
+    sid = tracer.begin("w", t=5.0)
+    tracer.end(sid, t=9.0)
+    assert (tracer.spans[0].start, tracer.spans[0].end) == (5.0, 9.0)
+
+
+def test_context_manager_dispositions():
+    tracer, _ = make_tracer()
+    with tracer.span("clean"):
+        pass
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError()
+    with tracer.span("settled") as h:
+        h.settle("eliminated", reason="sibling won")
+    by_name = {s.name: s for s in tracer.spans}
+    assert by_name["clean"].disposition == "committed"
+    assert by_name["boom"].disposition == "aborted"
+    assert by_name["settled"].disposition == "eliminated"
+    assert by_name["settled"].attrs["reason"] == "sibling won"
+
+
+def test_complete_and_instant():
+    tracer, _ = make_tracer()
+    tracer.complete("done", 1.0, 3.0, disposition="committed")
+    tracer.instant("mark", t=2.0, note="x")
+    span, inst = tracer.spans
+    assert (span.start, span.end, span.kind) == (1.0, 3.0, "span")
+    assert (inst.start, inst.end, inst.kind) == (2.0, 2.0, "instant")
+
+
+def test_buffer_limit_counts_drops():
+    tracer, _ = make_tracer(limit=2)
+    ids = [tracer.begin(f"s{i}") for i in range(4)]
+    assert ids[2] == -1 and ids[3] == -1
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 2
+    # ending recorded spans still works past the limit
+    tracer.end(ids[0], disposition="committed")
+    assert tracer.spans[0].disposition == "committed"
+
+
+def test_finish_open_settles_speculative():
+    tracer, _ = make_tracer()
+    tracer.begin("a")
+    tracer.begin("b")
+    sid = tracer.begin("c")
+    tracer.end(sid, disposition="committed")
+    assert len(tracer.open_spans()) == 2
+    closed = tracer.finish_open(t=9.0)
+    assert closed == 2
+    assert not tracer.open_spans()
+    assert sorted(
+        s.disposition for s in tracer.spans
+    ) == ["committed", "speculative", "speculative"]
+
+
+def test_disabled_tracer_is_inert():
+    tracer = Tracer(enabled=False)
+    assert tracer.begin("x") == -1
+    assert tracer.complete("x", 0, 1) == -1
+    assert tracer.instant("x") == -1
+    with tracer.span("x"):
+        pass
+    assert len(tracer) == 0
+    assert NULL_TRACER.begin("y") == -1
+
+
+def test_track_names_and_dispositions_registry():
+    tracer, _ = make_tracer()
+    tracer.set_track_name(3, "wid 3 · main")
+    assert tracer.track_names[3] == "wid 3 · main"
+    assert set(DISPOSITIONS) == {
+        "speculative", "committed", "eliminated", "aborted"
+    }
