@@ -1,0 +1,248 @@
+"""Serving throughput: latency / throughput / shed-rate vs offered load.
+
+Eight tenants contend for a four-slot world budget through the
+speculation service (repro.serve). Three phases per policy arm:
+
+- **light**: paced submissions well under capacity — nothing may shed;
+- **burst**: every tenant dumps its backlog at once with no deadline —
+  every admitted request commits, which is where the adaptive-vs-naive
+  p50 comparison and the exactly-once journal audit are honest (a
+  deadlined phase would shed the slow tail and bias p50 downward);
+- **overload**: the same burst under a tight deadline — the
+  deadline-aware shedder must drop part of the tail.
+
+The naive arm (FixedSpeculationPolicy + require_full_grant) is the
+paper's "every caller assumes it owns the machine" strawman: each
+request waits for one slot per alternative and spawns all of them, so
+the pool serialises. The adaptive arm learns the winning alternative
+and degrades K under load, so requests pipeline four-wide.
+"""
+
+import statistics
+import sys
+import threading
+import time
+
+from _harness import metric, report, report_json, table
+from repro.errors import AdmissionRejected
+from repro.journal import CommitJournal, MemoryJournalStorage
+from repro.obs import Observability
+from repro.serve import (
+    AdaptiveSpeculationPolicy,
+    AdmissionQueue,
+    FixedSpeculationPolicy,
+    SpeculationService,
+    WorldBudget,
+)
+
+TENANTS = 8
+SLOTS = 4
+WORKERS = 8
+
+LIGHT_GAP_S = 0.05
+LIGHT_DEADLINE_S = 2.0
+OVERLOAD_DEADLINE_S = 0.08
+
+REQUESTS = {"light": 3, "burst": 10, "overload": 10}
+QUICK_REQUESTS = {"light": 2, "burst": 6, "overload": 8}
+
+HEADERS = (
+    "arm", "phase", "offered", "committed", "shed", "rejected",
+    "p50_ms", "p95_ms", "thru_rps",
+)
+
+
+def alt_fast(ws):
+    time.sleep(0.004)
+    ws["path"] = "fast"
+    return "fast"
+
+
+def alt_slow_a(ws):
+    time.sleep(0.02)
+    return "slow-a"
+
+
+def alt_slow_b(ws):
+    time.sleep(0.02)
+    return "slow-b"
+
+
+def alt_slow_c(ws):
+    time.sleep(0.02)
+    return "slow-c"
+
+
+ALTS = [alt_fast, alt_slow_a, alt_slow_b, alt_slow_c]
+
+
+def make_service(arm, journal=None, obs=None):
+    budget = WorldBudget(SLOTS, obs=obs)
+    queue = AdmissionQueue(depth=256, tenant_depth=64, obs=obs)
+    if arm == "adaptive":
+        svc = SpeculationService(
+            budget, queue=queue, policy=AdaptiveSpeculationPolicy(),
+            workers=WORKERS, journal=journal, obs=obs,
+        )
+    else:
+        svc = SpeculationService(
+            budget, queue=queue, policy=FixedSpeculationPolicy(),
+            workers=WORKERS, require_full_grant=True,
+            journal=journal, obs=obs,
+        )
+    return budget, svc
+
+
+def run_phase(svc, requests_per_tenant, gap_s, deadline_s):
+    """Submit from TENANTS threads; return (results, rejected, wall_s)."""
+    tickets = []
+    rejected = [0]
+    lock = threading.Lock()
+
+    def tenant_loop(name):
+        for _ in range(requests_per_tenant):
+            try:
+                ticket = svc.submit(name, ALTS, deadline_s=deadline_s)
+            except AdmissionRejected:
+                with lock:
+                    rejected[0] += 1
+            else:
+                with lock:
+                    tickets.append(ticket)
+            if gap_s:
+                time.sleep(gap_s)
+
+    start = time.monotonic()
+    threads = [
+        threading.Thread(target=tenant_loop, args=(f"tenant-{i}",))
+        for i in range(TENANTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    results = [t.result(timeout=60.0) for t in tickets]
+    wall_s = time.monotonic() - start
+    return results, rejected[0], wall_s
+
+
+def phase_row(arm, phase, results, rejected, wall_s):
+    committed = [r for r in results if r.status == "committed"]
+    shed = sum(1 for r in results if r.status == "shed")
+    latencies = sorted(r.latency_s for r in committed)
+    p50 = statistics.median(latencies) * 1000 if latencies else 0.0
+    p95 = latencies[int(0.95 * (len(latencies) - 1))] * 1000 if latencies else 0.0
+    thru = len(committed) / wall_s if wall_s > 0 else 0.0
+    offered = len(results) + rejected
+    return (arm, phase, offered, len(committed), shed, rejected, p50, p95, thru)
+
+
+def audit_exactly_once(journal, results):
+    """Every committed request appears in the journal exactly once, applied.
+
+    Returns the number of violations (0 is the pass condition).
+    """
+    committed_seqs = sorted(r.seq for r in results if r.status == "committed")
+    intents = [
+        r for r in journal.records()
+        if r["t"] == "intent" and r["kind"] == "block"
+    ]
+    blocks = sorted(r["data"]["block"] for r in intents)
+    violations = 0
+    if blocks != committed_seqs:
+        violations += 1
+    for rec in intents:
+        if journal.status(rec["seq"]) != "applied":
+            violations += 1
+    return violations
+
+
+def run_arm(arm, counts):
+    storage = MemoryJournalStorage()
+    journal = CommitJournal(storage=storage)
+    obs = Observability()
+    budget, svc = make_service(arm, journal=journal, obs=obs)
+    rows, all_results = [], []
+    with svc:
+        for phase, gap_s, deadline_s in (
+            ("light", LIGHT_GAP_S, LIGHT_DEADLINE_S),
+            ("burst", 0.0, None),
+            ("overload", 0.0, OVERLOAD_DEADLINE_S),
+        ):
+            results, rejected, wall_s = run_phase(
+                svc, counts[phase], gap_s, deadline_s
+            )
+            rows.append(phase_row(arm, phase, results, rejected, wall_s))
+            all_results.extend(results)
+    violations = audit_exactly_once(journal, all_results)
+    hwm = budget.high_watermark
+    hwm_metric = obs.registry.get("mw_serve_slots_hwm").value()
+    return rows, violations, hwm, hwm_metric
+
+
+def sweep(counts):
+    out = {}
+    for arm in ("adaptive", "naive"):
+        out[arm] = run_arm(arm, counts)
+    return out
+
+
+def shed_rate(row):
+    _, _, offered, _, shed, rejected, *_ = row
+    admitted = offered - rejected
+    return shed / admitted if admitted else 0.0
+
+
+def _check(results):
+    for arm, (rows, violations, hwm, hwm_metric) in results.items():
+        by_phase = {r[1]: r for r in rows}
+        assert violations == 0, f"{arm}: journal exactly-once audit failed"
+        assert hwm <= SLOTS, f"{arm}: budget exceeded ({hwm} > {SLOTS})"
+        assert hwm_metric <= SLOTS, f"{arm}: mw_serve_slots_hwm over budget"
+        assert shed_rate(by_phase["light"]) == 0.0, f"{arm}: light phase shed"
+        assert by_phase["burst"][4] == 0, f"{arm}: deadline-less burst shed"
+    adaptive = {r[1]: r for r in results["adaptive"][0]}
+    assert shed_rate(adaptive["overload"]) > 0.0, "overload phase never shed"
+    naive = {r[1]: r for r in results["naive"][0]}
+    assert adaptive["burst"][6] < naive["burst"][6], (
+        "adaptive p50 did not beat naive spawn-all-N "
+        f"({adaptive['burst'][6]:.1f}ms vs {naive['burst'][6]:.1f}ms)"
+    )
+
+
+def _metrics(results):
+    adaptive = {r[1]: r for r in results["adaptive"][0]}
+    naive = {r[1]: r for r in results["naive"][0]}
+    return [
+        metric("serve_light_shed_rate", shed_rate(adaptive["light"]), "ratio"),
+        metric("serve_overload_shed_rate", shed_rate(adaptive["overload"]), "ratio"),
+        metric("serve_burst_p50_adaptive", adaptive["burst"][6], "ms"),
+        metric("serve_burst_p50_naive", naive["burst"][6], "ms"),
+        metric("serve_burst_throughput_adaptive", adaptive["burst"][8], "req/s"),
+        metric("serve_burst_throughput_naive", naive["burst"][8], "req/s"),
+        metric("serve_slots_hwm", float(results["adaptive"][2]), "slots"),
+        metric("serve_exactly_once_violations",
+               float(results["adaptive"][1] + results["naive"][1]), "count"),
+    ]
+
+
+def _render(results):
+    rows = results["adaptive"][0] + results["naive"][0]
+    return table(HEADERS, rows, fmt="8.2f")
+
+
+def test_serve_throughput(benchmark):
+    results = benchmark.pedantic(sweep, args=(REQUESTS,), iterations=1, rounds=1)
+    report("serve_throughput", _render(results))
+    report_json("serve_throughput", _metrics(results))
+    _check(results)
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    counts = QUICK_REQUESTS if quick else REQUESTS
+    swept = sweep(counts)
+    print(_render(swept))
+    report_json("serve_throughput", _metrics(swept))
+    _check(swept)
+    print("ok")

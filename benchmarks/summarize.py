@@ -19,6 +19,11 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
+
+
+def _warn(message: str) -> None:
+    print(f"summarize: warning: {message}", file=sys.stderr)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPORT = os.path.join(os.path.dirname(__file__), "REPORT.md")
@@ -73,34 +78,69 @@ SECTIONS = [
 ]
 
 
-def merge_json() -> None:
-    """Merge results/*.json (except the output itself) into BENCH_OBS.json."""
+def _file_rows(doc, fname: str) -> list[dict] | None:
+    """Extract metric rows from one results document, or None if malformed."""
+    if not isinstance(doc, dict):
+        _warn(f"skipping {fname}: expected a JSON object, got {type(doc).__name__}")
+        return None
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        _warn(f"skipping {fname}: 'metrics' missing or not a list")
+        return None
+    bench = doc.get("bench", fname[:-5])
     rows = []
-    names = sorted(os.listdir(RESULTS_DIR)) if os.path.isdir(RESULTS_DIR) else []
+    for m in metrics:
+        if not isinstance(m, dict) or "name" not in m or "value" not in m:
+            _warn(f"skipping {fname}: malformed metric row {m!r}")
+            return None
+        if isinstance(m["value"], bool) or not isinstance(m["value"], (int, float)):
+            _warn(f"skipping {fname}: non-numeric value in {m['name']!r}")
+            return None
+        row = {
+            "bench": bench, "name": m["name"],
+            "value": m["value"], "unit": m.get("unit", ""),
+        }
+        if "stddev" in m:
+            row["stddev"] = m["stddev"]
+        rows.append(row)
+    return rows
+
+
+def merge_json(results_dir: str = RESULTS_DIR, out_path: str | None = None) -> int:
+    """Merge results/*.json (except the output itself) into BENCH_OBS.json.
+
+    Malformed or truncated files are skipped with a warning; returns the
+    number of results files that merged cleanly, so the caller can fail
+    only when *nothing* was salvageable.
+    """
+    if out_path is None:
+        out_path = os.path.join(results_dir, os.path.basename(BENCH_OBS))
+    rows = []
+    valid_files = 0
+    names = sorted(os.listdir(results_dir)) if os.path.isdir(results_dir) else []
     for fname in names:
-        if not fname.endswith(".json") or fname == os.path.basename(BENCH_OBS):
+        if not fname.endswith(".json") or fname == os.path.basename(out_path):
             continue
-        path = os.path.join(RESULTS_DIR, fname)
+        if fname.endswith(".trace.json"):
+            continue  # Chrome-trace exports live here too; not metrics
+        path = os.path.join(results_dir, fname)
         try:
             with open(path) as fh:
                 doc = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
-            print(f"skipping {fname}: {exc}")
+            _warn(f"skipping {fname}: {exc}")
             continue
-        bench = doc.get("bench", fname[:-5])
-        for m in doc.get("metrics", []):
-            row = {
-                "bench": bench, "name": m["name"],
-                "value": m["value"], "unit": m.get("unit", ""),
-            }
-            if "stddev" in m:
-                row["stddev"] = m["stddev"]
-            rows.append(row)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(BENCH_OBS, "w") as fh:
+        file_rows = _file_rows(doc, fname)
+        if file_rows is None:
+            continue
+        valid_files += 1
+        rows.extend(file_rows)
+    os.makedirs(results_dir, exist_ok=True)
+    with open(out_path, "w") as fh:
         json.dump({"metrics": rows}, fh, indent=2)
         fh.write("\n")
-    print(f"wrote {BENCH_OBS} ({len(rows)} metrics)")
+    print(f"wrote {out_path} ({len(rows)} metrics from {valid_files} benches)")
+    return valid_files
 
 
 def main() -> None:
@@ -140,8 +180,14 @@ if __name__ == "__main__":
         "--json", action="store_true",
         help="merge results/*.json metrics into BENCH_OBS.json",
     )
+    parser.add_argument(
+        "--results-dir", default=RESULTS_DIR,
+        help="directory of per-bench results (default: benchmarks/results)",
+    )
     args = parser.parse_args()
     if args.json:
-        merge_json()
+        if merge_json(args.results_dir) == 0:
+            _warn("no valid results files found")
+            sys.exit(1)
     else:
         main()

@@ -25,6 +25,9 @@ from repro.core.outcome import AlternativeResult, BlockOutcome
 from repro.core.policy import EliminationPolicy
 from repro.errors import WorldsError
 
+#: Every backend ``run_alternatives(backend=...)`` accepts.
+BACKENDS = ("sim", "fork", "thread", "sequential")
+
 
 def _normalize(alternatives: Sequence[Any]) -> list[Alternative]:
     out = []
@@ -162,6 +165,11 @@ def run_alternatives(
     ``obs`` (an :class:`~repro.obs.Observability`) records spans and
     metrics for the block on whichever backend runs it.
     """
+    if backend not in BACKENDS:
+        raise WorldsError(
+            f"unknown backend {backend!r}: valid backends are "
+            + ", ".join(repr(b) for b in BACKENDS)
+        )
     if obs is not None and fault_plan is not None:
         # fault-plane correlation: every injection the backend acts on
         # also lands as an annotation instant + counter increment (the
@@ -189,15 +197,13 @@ def run_alternatives(
             fault_plan=fault_plan, block_id=block_id, attempt=attempt,
             journal=journal, obs=obs, **kwargs
         )
-    if backend == "sequential":
-        from repro.runtime.sequential_backend import run_alternatives_sequential
+    from repro.runtime.sequential_backend import run_alternatives_sequential
 
-        return run_alternatives_sequential(
-            alternatives, initial, timeout=timeout,
-            fault_plan=fault_plan, block_id=block_id, attempt=attempt,
-            journal=journal, obs=obs, **kwargs
-        )
-    raise WorldsError(f"unknown backend {backend!r}")
+    return run_alternatives_sequential(
+        alternatives, initial, timeout=timeout,
+        fault_plan=fault_plan, block_id=block_id, attempt=attempt,
+        journal=journal, obs=obs, **kwargs
+    )
 
 
 def first_of(*fns: Callable[[dict], Any], **kwargs: Any) -> BlockOutcome:

@@ -170,6 +170,33 @@ class InputExhausted(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """Errors from the multi-tenant speculation service (``repro.serve``)."""
+
+
+class AdmissionRejected(ServeError):
+    """The admission queue refused a request (backpressure).
+
+    Raised at submit time when the tenant's queue — or the global queue —
+    is at its bound. ``retry_after_s`` is the service's backpressure
+    hint: an estimate of when capacity will next free up, suitable for a
+    client-side backoff.
+    """
+
+    def __init__(self, message: str, tenant: str = "", retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+
+class QuotaExceeded(ServeError):
+    """A reservation asked for more worlds than the tenant's quota allows."""
+
+
+class ServiceStopped(ServeError):
+    """The speculation service is not running (stopped or never started)."""
+
+
 class PrologError(ReproError):
     """Errors from the mini-Prolog engine."""
 

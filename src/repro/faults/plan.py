@@ -40,6 +40,10 @@ journal    TORN_RECORD, CRASH_BEFORE_SEAL, CRASH_AFTER_SEAL,
            PARTIAL_RELEASE — keyed ``(txn_seq,)`` (the commit journal);
            DOUBLE_RECOVERY — keyed ``(RECOVERY_KEY,)`` (the recovery
            pass itself runs twice, proving idempotence)
+serve      REQUEST_BURST (the submit arrives as ``burst_n`` copies — a
+           client retry storm), SLOW_TENANT (the request costs
+           ``slow_tenant_s`` extra worker seconds) — keyed
+           ``(crc32(tenant), request_seq)`` (the speculation service)
 ========== ==================================================================
 """
 
@@ -105,6 +109,12 @@ class FaultKind(str, enum.Enum):
     PARTIAL_RELEASE = "partial-release"
     #: journal: the recovery pass runs twice (it must be idempotent)
     DOUBLE_RECOVERY = "double-recovery"
+    #: serve: a misbehaving client resubmits the same request as a burst
+    #: of ``burst_n`` copies (a retry storm hammering the admission queue)
+    REQUEST_BURST = "request-burst"
+    #: serve: the tenant's request takes ``slow_tenant_s`` extra seconds
+    #: of worker time (a pathological workload hogging its slots)
+    SLOW_TENANT = "slow-tenant"
 
 
 CHILD_SITE = "child"
@@ -117,6 +127,7 @@ PARTITION_SITE = "partition"
 REMOTE_SITE = "remote"
 HEARTBEAT_SITE = "heartbeat"
 JOURNAL_SITE = "journal"
+SERVE_SITE = "serve"
 
 #: The reserved journal-site key the recovery pass queries for
 #: DOUBLE_RECOVERY (transaction seqs start at 1, so 0 never collides).
@@ -157,6 +168,7 @@ SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
         FaultKind.PARTIAL_RELEASE,
         FaultKind.DOUBLE_RECOVERY,
     ),
+    SERVE_SITE: (FaultKind.REQUEST_BURST, FaultKind.SLOW_TENANT),
 }
 
 
@@ -202,6 +214,8 @@ class FaultPlan:
     partition_window_s: float = 1.0
     flap_s: float = 0.25
     remote_crash_fraction: float = 0.5
+    burst_n: float = 3.0
+    slow_tenant_s: float = 0.02
     #: Optional telemetry sink (see :meth:`note_injection`); wired by
     #: :meth:`repro.obs.Observability.watch_fault_plan`. Excluded from
     #: equality so plans still compare by schedule.
@@ -239,6 +253,10 @@ class FaultPlan:
             return self.flap_s
         if kind is FaultKind.REMOTE_CRASH:
             return self.remote_crash_fraction
+        if kind is FaultKind.REQUEST_BURST:
+            return self.burst_n
+        if kind is FaultKind.SLOW_TENANT:
+            return self.slow_tenant_s
         return 0.0
 
     # -- the decision procedure -------------------------------------------

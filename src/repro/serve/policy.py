@@ -1,0 +1,163 @@
+"""The adaptive speculation policy: how many worlds, which, and when.
+
+The paper's Figs. 3–4 plot performance improvement π against the
+overhead ratio R_o and spare-capacity ρ: speculation pays while worlds
+are cheap and processors idle, and *costs* once either stops being
+true. A static service would have to pick one point on that curve;
+:class:`AdaptiveSpeculationPolicy` walks it at runtime, per request:
+
+- **K (how many)** — start from the slots the budget actually granted,
+  then shrink with measured pool load: at ``saturation`` the policy
+  stops speculating entirely (K=1). Win-rate statistics shrink K
+  further — once one alternative wins ``confident_win`` of the time,
+  running its siblings is pure waste (ρ has left the profitable
+  region, so stop paying R_o).
+- **which** — alternatives ranked by expected usefulness per second
+  (win EWMA / latency EWMA, optimistic prior for the unseen), so the
+  K worlds that do run are the ones most likely to commit quickly.
+- **when (stagger)** — ranked world *i* starts ``i × stagger`` late,
+  where the unit stagger is the favourite's expected latency scaled by
+  load: an idle service launches everything at once (minimum response
+  time), a loaded one launches spares only after the favourite has had
+  its chance (minimum wasted work) — §4.1's stagger frontier driven by
+  live statistics.
+- **backend** — saturated K=1 requests degrade to the ``sequential``
+  backend: no worlds, no spawn cost, exactly the paper's degenerate
+  standby-spares execution.
+
+The policy is deliberately stateless between calls — all adaptation
+lives in the shared :class:`~repro.serve.stats.AlternativeStats`, which
+both the decision and the observation side update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.serve.stats import AlternativeStats
+
+
+@dataclass
+class SpeculationDecision:
+    """One request's execution shape, as decided by the policy.
+
+    ``order`` holds indexes into the caller's alternative list, ranked
+    best-first and truncated to K; ``staggers`` are the matching start
+    delays (``staggers[0]`` is always 0). ``backend`` may downgrade the
+    service default under saturation.
+    """
+
+    order: list[int]
+    staggers: list[float]
+    backend: str | None = None
+    reason: str = "adaptive"
+
+    @property
+    def k(self) -> int:
+        return len(self.order)
+
+
+@dataclass
+class FixedSpeculationPolicy:
+    """The naive baseline: always spawn every alternative at once.
+
+    What every ``run_alternatives`` caller does today — and the control
+    arm the serve benchmark compares the adaptive policy against.
+    """
+
+    backend: str | None = None
+
+    def decide(self, names, granted: int, load: float = 0.0) -> SpeculationDecision:
+        order = list(range(len(names)))
+        return SpeculationDecision(
+            order=order, staggers=[0.0] * len(order),
+            backend=self.backend, reason="fixed",
+        )
+
+    def observe(self, outcome, names=None, launched=None) -> None:  # noqa: ARG002 - baseline learns nothing
+        return None
+
+
+@dataclass
+class AdaptiveSpeculationPolicy:
+    """Choose K ≤ N alternatives and a stagger schedule from live stats.
+
+    Parameters
+    ----------
+    stats:
+        The shared statistics store (created on demand).
+    saturation:
+        Pool-load fraction at and above which the policy stops
+        speculating (K=1, sequential backend).
+    confident_win:
+        Win EWMA above which the favourite runs alone even on an idle
+        pool (its siblings would almost surely be wasted work).
+    stagger_scale:
+        Multiplies the load-scaled stagger unit; 0 disables staggering.
+    min_stagger_s / max_stagger_s:
+        Clamp on the unit stagger, so cold stats cannot produce zero or
+        absurd schedules.
+    """
+
+    stats: AlternativeStats = field(default_factory=AlternativeStats)
+    saturation: float = 0.9
+    confident_win: float = 0.9
+    stagger_scale: float = 1.0
+    min_stagger_s: float = 0.001
+    max_stagger_s: float = 0.25
+    sequential_when_saturated: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.saturation <= 1.0:
+            raise ServeError(f"saturation must be in (0, 1], got {self.saturation}")
+        if not 0.0 <= self.confident_win <= 1.0:
+            raise ServeError(
+                f"confident_win must be in [0, 1], got {self.confident_win}"
+            )
+
+    # -- the decision ------------------------------------------------------
+    def decide(self, names, granted: int, load: float = 0.0) -> SpeculationDecision:
+        """Shape one request: ``names`` are the alternatives' names (in
+        caller order), ``granted`` the slots the budget allotted, and
+        ``load`` the pool's post-grant utilisation in ``[0, 1]``.
+        """
+        n = len(names)
+        if n == 0:
+            raise ServeError("cannot decide over zero alternatives")
+        ranked = sorted(range(n), key=lambda i: -self.stats.score(names[i]))
+        k = max(1, min(n, granted))
+        reason = "adaptive"
+        if load >= self.saturation and k > 1:
+            k, reason = 1, "saturated"
+        favourite = names[ranked[0]]
+        fav_rec = self.stats.record(favourite)
+        if (
+            k > 1
+            and fav_rec is not None
+            and fav_rec.attempts >= 3
+            and fav_rec.win_ewma >= self.confident_win
+        ):
+            k, reason = 1, "confident"
+        order = ranked[:k]
+        staggers = [i * self._stagger_unit(favourite, load) for i in range(k)]
+        backend = None
+        if k == 1 and reason == "saturated" and self.sequential_when_saturated:
+            backend = "sequential"
+        return SpeculationDecision(
+            order=order, staggers=staggers, backend=backend, reason=reason,
+        )
+
+    def _stagger_unit(self, favourite: str, load: float) -> float:
+        if self.stagger_scale <= 0.0:
+            return 0.0
+        expected = self.stats.latency_ewma(favourite)
+        unit = self.stagger_scale * load * expected
+        if unit <= 0.0:
+            return 0.0 if load <= 0.0 else self.min_stagger_s
+        return min(max(unit, self.min_stagger_s), self.max_stagger_s)
+
+    # -- the feedback loop -------------------------------------------------
+    def observe(self, outcome, names=None, launched=None) -> None:
+        """Feed a finished block back into the statistics."""
+        self.stats.observe_outcome(outcome, names, launched=launched)

@@ -1,0 +1,572 @@
+"""The multi-tenant speculation service.
+
+:class:`SpeculationService` is the traffic-facing layer the rest of the
+library has been building toward: callers :meth:`~SpeculationService.submit`
+alternative blocks and get a :class:`ServeTicket` back; a worker pool
+drives the blocks through the existing machinery, with every layer of
+the stack doing its job:
+
+- the :class:`~repro.serve.admission.AdmissionQueue` bounds the backlog
+  (backpressure), sheds expired requests, and round-robins tenants;
+- the :class:`~repro.serve.budget.WorldBudget` caps concurrent worlds
+  machine-wide and per tenant, preempting speculative worlds when a
+  higher-priority request needs its first slot;
+- the speculation policy (adaptive by default) picks K ≤ N
+  alternatives, a stagger schedule, and possibly a degraded backend;
+- a per-request :class:`~repro.faults.supervisor.Supervisor` runs the
+  block with retry spares and the fork→thread→sequential fallback
+  chain, so a worker surviving its request is the common case even
+  under fault injection;
+- with a :class:`~repro.journal.CommitJournal`, each request's win is a
+  durable ``block`` transaction keyed by the request ``seq`` — a
+  service restarted over the same journal *replays* already-applied
+  requests instead of re-running them (exactly-once per request);
+- with an :class:`~repro.obs.Observability`, every request is a span
+  (``cat="serve"``, one track per tenant) and the ``mw_serve_*``
+  family tracks slots, queue depth, sheds, latency and K choices.
+
+Fault injection (``serve`` site, keyed ``(crc32(tenant), seq)``):
+``REQUEST_BURST`` turns one submit into ``burst_n`` copies — a client
+retry storm pressing on admission bounds; ``SLOW_TENANT`` charges the
+request ``slow_tenant_s`` extra worker seconds — a pathological tenant
+hogging its share.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.outcome import BlockOutcome
+from repro.core.worlds import _normalize
+from repro.errors import AdmissionRejected, ServeError, ServiceStopped, WorldsError
+from repro.faults.plan import SERVE_SITE, FaultKind
+from repro.faults.supervisor import Supervisor
+from repro.serve.admission import AdmissionQueue, ServeRequest
+from repro.serve.budget import WorldBudget
+from repro.serve.policy import AdaptiveSpeculationPolicy, SpeculationDecision
+from repro.serve.stats import AlternativeStats
+
+#: Latency buckets suited to request serving (5 ms .. 10 s).
+LATENCY_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+@dataclass
+class ServeResult:
+    """What became of one submitted request.
+
+    ``status`` is one of ``committed`` (a winner was accepted),
+    ``failed`` (the block ran but no alternative won), ``shed`` (the
+    service discarded the request before/instead of running it) or
+    ``cancelled`` (service shutdown). ``outcome`` is the underlying
+    :class:`~repro.core.outcome.BlockOutcome` when the block ran.
+    """
+
+    status: str
+    tenant: str
+    seq: int
+    outcome: BlockOutcome | None = None
+    reason: str = ""
+    k: int = 0
+    policy_reason: str = ""
+    backend: str = ""
+    queue_wait_s: float = 0.0
+    latency_s: float = 0.0
+    preempted_slots: int = 0
+    replayed: bool = False
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    @property
+    def value(self) -> Any:
+        return self.outcome.value if self.outcome is not None else None
+
+
+class ServeTicket:
+    """A caller's handle on a submitted request (a small future)."""
+
+    def __init__(self, tenant: str, seq: int) -> None:
+        self.tenant = tenant
+        self.seq = seq
+        self._done = threading.Event()
+        self._result: ServeResult | None = None
+
+    def _resolve(self, result: ServeResult) -> None:
+        self._result = result
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> ServeResult:
+        """Block until the service resolves this request."""
+        if not self._done.wait(timeout):
+            raise ServeError(
+                f"request {self.seq} (tenant {self.tenant!r}) not done "
+                f"within {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+
+class SpeculationService:
+    """Serve speculative alternative blocks to many tenants at once.
+
+    Parameters
+    ----------
+    budget:
+        A :class:`WorldBudget`, or an int (total slots) to build one.
+    queue:
+        An :class:`AdmissionQueue`; defaults to one with bounds scaled
+        to the budget (depth ``16×slots``).
+    policy:
+        Any object with ``decide(names, granted, load)`` and
+        ``observe(outcome, names, launched=None)``; defaults to an
+        :class:`AdaptiveSpeculationPolicy` over fresh stats.
+    workers:
+        Dispatch threads. Each drives one request at a time; the worlds
+        within a request are the backend's business, not the worker's.
+    backend:
+        Default backend for admitted blocks (the policy may override,
+        and the per-request supervisor may degrade it further).
+    grant_timeout_s:
+        How long a deadline-less request may wait for budget slots
+        before it is shed for capacity (deadlined requests wait until
+        their deadline instead).
+    require_full_grant:
+        When True, a request waits for one slot per alternative instead
+        of running with whatever is free — the honest accounting for a
+        policy that always spawns everything (the naive baseline). The
+        default elastic grant is what makes adaptive serving pay.
+    supervisor_retries / supervisor_backoff_s:
+        Per-request :class:`Supervisor` knobs.
+    fault_plan / journal / obs:
+        The robustness planes, threaded through every layer.
+    """
+
+    def __init__(
+        self,
+        budget: WorldBudget | int,
+        queue: AdmissionQueue | None = None,
+        policy=None,
+        workers: int = 4,
+        backend: str = "thread",
+        grant_timeout_s: float = 5.0,
+        require_full_grant: bool = False,
+        supervisor_retries: int = 1,
+        supervisor_backoff_s: float = 0.005,
+        fault_plan=None,
+        journal=None,
+        obs=None,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"need at least one worker, got {workers}")
+        self.budget = WorldBudget(budget) if isinstance(budget, int) else budget
+        self.queue = queue if queue is not None else AdmissionQueue(
+            depth=16 * self.budget.slots
+        )
+        if policy is None:
+            policy = AdaptiveSpeculationPolicy(stats=AlternativeStats(obs=obs))
+        self.policy = policy
+        self.workers = workers
+        self.backend = backend
+        self.grant_timeout_s = grant_timeout_s
+        self.require_full_grant = require_full_grant
+        self.supervisor_retries = supervisor_retries
+        self.supervisor_backoff_s = supervisor_backoff_s
+        self.fault_plan = fault_plan
+        self.journal = journal
+        self.obs = obs
+        self._threads: list[threading.Thread] = []
+        self._tickets: dict[int, ServeTicket] = {}
+        self._tickets_lock = threading.Lock()
+        self._running = False
+        self._requests_c = self._latency_h = self._wait_h = self._k_h = None
+        if obs is not None:
+            self.budget.bind_obs(obs)
+            self.queue.bind_obs(obs)
+            if fault_plan is not None:
+                obs.watch_fault_plan(fault_plan)
+            stats = getattr(policy, "stats", None)
+            if stats is not None:
+                stats.bind_obs(obs)
+            self._requests_c = obs.registry.counter(
+                "mw_serve_requests_total", "Requests by final status",
+                labelnames=("tenant", "status"),
+            )
+            self._latency_h = obs.registry.histogram(
+                "mw_serve_request_latency_seconds",
+                "Submit-to-resolution latency of committed requests",
+                buckets=LATENCY_BUCKETS,
+            )
+            self._wait_h = obs.registry.histogram(
+                "mw_serve_queue_wait_seconds",
+                "Admission-to-dispatch wait", buckets=LATENCY_BUCKETS,
+            )
+            self._k_h = obs.registry.histogram(
+                "mw_serve_k_chosen", "Worlds actually speculated per request",
+                buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "SpeculationService":
+        if self._running:
+            return self
+        self._running = True
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop accepting work, drain the queue, join the workers."""
+        if not self._running:
+            return
+        self._running = False
+        self.queue.close()
+        for t in self._threads:
+            t.join(timeout)
+        self._threads.clear()
+        for request in self.queue.drain():
+            self.queue.shed_request(request, reason="shutdown")
+            self._resolve(
+                request,
+                ServeResult(
+                    status="cancelled", tenant=request.tenant, seq=request.seq,
+                    reason="service stopped",
+                ),
+            )
+
+    def __enter__(self) -> "SpeculationService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- submit ------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        alternatives: Sequence[Any],
+        initial: dict | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+        cost: float = 1.0,
+    ) -> ServeTicket:
+        """Queue one alternative block for ``tenant``; returns a ticket.
+
+        ``deadline_s`` is *relative* (seconds from now): a request still
+        queued — or still waiting for budget — past it is shed, and its
+        ticket resolves with ``status="shed"``. ``timeout`` bounds the
+        block's execution once started. Raises
+        :class:`~repro.errors.AdmissionRejected` under backpressure and
+        :class:`~repro.errors.ServiceStopped` when not running.
+        """
+        if not self._running:
+            raise ServiceStopped("service is not running (call start())")
+        alts = _normalize(alternatives)  # validate before queueing
+        now = time.monotonic()
+        request = ServeRequest(
+            tenant=tenant,
+            alternatives=alts,
+            initial=initial,
+            priority=priority,
+            deadline_s=None if deadline_s is None else now + deadline_s,
+            timeout=timeout,
+            cost=cost,
+        )
+        ticket = ServeTicket(tenant, request.seq)
+        with self._tickets_lock:
+            self._tickets[request.seq] = ticket
+        try:
+            self.queue.offer(request)
+        except AdmissionRejected:
+            with self._tickets_lock:
+                self._tickets.pop(request.seq, None)
+            self._count_status(tenant, "rejected")
+            raise
+        self._maybe_burst(request)
+        return ticket
+
+    def _maybe_burst(self, request: ServeRequest) -> None:
+        """REQUEST_BURST: re-submit the request as a storm of shadows."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        key = (zlib.crc32(request.tenant.encode()), request.seq)
+        fault = plan.decide(SERVE_SITE, *key)
+        if fault.kind is not FaultKind.REQUEST_BURST:
+            return
+        copies = max(0, int(fault.param) - 1)
+        plan.note_injection(
+            SERVE_SITE, fault.kind,
+            detail=f"{copies} shadow resubmits of request {request.seq}",
+            tenant=request.tenant, seq=request.seq,
+        )
+        for _ in range(copies):
+            shadow = ServeRequest(
+                tenant=request.tenant,
+                alternatives=request.alternatives,
+                initial=request.initial,
+                priority=request.priority,
+                deadline_s=request.deadline_s,
+                timeout=request.timeout,
+                cost=request.cost,
+                shadow=True,
+            )
+            try:
+                self.queue.offer(shadow)
+            except AdmissionRejected:
+                break  # the storm hit the backpressure wall — working as intended
+
+    # -- workers -----------------------------------------------------------
+    def _resolve(self, request: ServeRequest, result: ServeResult) -> None:
+        if request.shadow:
+            return
+        with self._tickets_lock:
+            ticket = self._tickets.pop(request.seq, None)
+        if ticket is not None:
+            ticket._resolve(result)
+
+    def _count_status(self, tenant: str, status: str) -> None:
+        if self._requests_c is not None:
+            self._requests_c.inc(tenant=tenant, status=status)
+
+    def _worker_loop(self) -> None:
+        while True:
+            request, shed = self.queue.take(timeout=0.05)
+            for expired in shed:
+                self._resolve(
+                    expired,
+                    ServeResult(
+                        status="shed", tenant=expired.tenant, seq=expired.seq,
+                        reason="deadline expired in queue",
+                    ),
+                )
+                self._count_status(expired.tenant, "shed")
+            if request is None:
+                if not self._running:
+                    return
+                continue
+            try:
+                self._serve_one(request)
+            except Exception as exc:  # noqa: BLE001 - a worker never dies
+                self._resolve(
+                    request,
+                    ServeResult(
+                        status="failed", tenant=request.tenant, seq=request.seq,
+                        reason=f"internal error: {exc!r}",
+                    ),
+                )
+                self._count_status(request.tenant, "error")
+
+    def _serve_one(self, request: ServeRequest) -> None:
+        dispatched = time.monotonic()
+        queue_wait = dispatched - request.submitted_at
+        if self._wait_h is not None:
+            self._wait_h.observe(queue_wait)
+        tenant = request.tenant
+        alts = list(request.alternatives)
+        names = [a.name for a in alts]
+
+        # ---- budget grant (bounded by the deadline) ----------------------
+        preempt_flag = threading.Event()
+        if request.deadline_s is not None:
+            grant_timeout = request.deadline_s - time.monotonic()
+        else:
+            grant_timeout = self.grant_timeout_s
+        reservation = None
+        min_slots = len(alts) if self.require_full_grant else 1
+        if grant_timeout > 0:
+            reservation = self.budget.reserve_blocking(
+                tenant, want=len(alts), min_slots=min_slots,
+                priority=request.priority,
+                on_preempt=lambda n: preempt_flag.set(),
+                timeout=grant_timeout,
+            )
+        if reservation is None:
+            reason = (
+                "deadline expired waiting for budget"
+                if request.deadline_s is not None
+                else "no budget capacity"
+            )
+            shed_label = "deadline" if request.deadline_s is not None else "capacity"
+            self.queue.shed_request(request, reason=shed_label)
+            self._resolve(
+                request,
+                ServeResult(
+                    status="shed", tenant=tenant, seq=request.seq,
+                    reason=reason, queue_wait_s=queue_wait,
+                ),
+            )
+            self._count_status(tenant, "shed")
+            return
+
+        span_id = -1
+        if self.obs is not None:
+            span_id = self.obs.tracer.begin(
+                f"request:{request.seq}", cat="serve", track=f"tenant:{tenant}",
+                tenant=tenant, seq=request.seq, priority=request.priority,
+                shadow=request.shadow,
+            )
+        try:
+            # ---- SLOW_TENANT fault: charge extra worker time --------------
+            self._maybe_slow_tenant(request)
+
+            # ---- policy: K, order, staggers, backend ----------------------
+            # load as the policy sees it: the pool pressure from
+            # *everyone else* — a request alone on an idle machine is
+            # the paper's free-speculation regime even though its own
+            # grant may fill the pool
+            others_load = max(0, self.budget.in_use - reservation.granted) / self.budget.slots
+            decision = self.policy.decide(
+                names, granted=reservation.granted, load=others_load
+            )
+            if decision.k > reservation.granted:
+                # a policy may not outvote the budget: clamp to the grant
+                decision = SpeculationDecision(
+                    order=decision.order[: reservation.granted],
+                    staggers=decision.staggers[: reservation.granted],
+                    backend=decision.backend,
+                    reason=decision.reason,
+                )
+            if self._k_h is not None:
+                self._k_h.observe(float(decision.k))
+            wave = self._build_wave(alts, decision, reservation)
+            backend = decision.backend or self.backend
+
+            # release slots the policy decided not to use
+            unused = reservation.granted - decision.k
+            if unused > 0:
+                reservation.release(unused)
+
+            # ---- run under a per-request supervisor -----------------------
+            supervisor = Supervisor(
+                max_retries=self.supervisor_retries,
+                backoff_s=self.supervisor_backoff_s,
+                fault_plan=self.fault_plan,
+                block_id=request.seq,
+                journal=self.journal,
+                obs=self.obs,
+            )
+            remaining = None
+            if request.deadline_s is not None:
+                remaining = max(0.001, request.deadline_s - time.monotonic())
+            if request.timeout is not None:
+                remaining = (
+                    request.timeout if remaining is None
+                    else min(remaining, request.timeout)
+                )
+            outcome = supervisor.run(
+                wave, initial=request.initial, timeout=remaining, backend=backend,
+            )
+            self._remap_indexes(outcome, decision)
+            replayed = bool(outcome.extras.get("journal_recovered"))
+            if not replayed:
+                launched = [names[i] for i in decision.order]
+                self.policy.observe(outcome, names, launched=launched)
+
+            latency = time.monotonic() - request.submitted_at
+            status = "committed" if outcome.winner is not None else "failed"
+            result = ServeResult(
+                status=status, tenant=tenant, seq=request.seq, outcome=outcome,
+                reason="" if status == "committed" else "no alternative won",
+                k=decision.k, policy_reason=decision.reason,
+                backend=outcome.extras.get("backend", backend),
+                queue_wait_s=queue_wait, latency_s=latency,
+                preempted_slots=reservation.preempted, replayed=replayed,
+            )
+            if span_id >= 0:
+                self.obs.tracer.end(
+                    span_id,
+                    disposition="committed" if status == "committed" else "aborted",
+                    k=decision.k, policy=decision.reason, backend=result.backend,
+                    status=status,
+                )
+                span_id = -1
+            if self._latency_h is not None and status == "committed":
+                self._latency_h.observe(latency)
+            self._count_status(tenant, status)
+            self._resolve(request, result)
+        finally:
+            if span_id >= 0:  # an exception escaped: settle as aborted
+                self.obs.tracer.end(span_id, disposition="aborted", error="internal")
+            reservation.release()
+
+    def _maybe_slow_tenant(self, request: ServeRequest) -> None:
+        plan = self.fault_plan
+        if plan is None:
+            return
+        key = (zlib.crc32(request.tenant.encode()), request.seq)
+        fault = plan.decide(SERVE_SITE, *key)
+        if fault.kind is not FaultKind.SLOW_TENANT:
+            return
+        plan.note_injection(
+            SERVE_SITE, fault.kind,
+            detail=f"request {request.seq} charged {fault.param:.3f}s",
+            tenant=request.tenant, seq=request.seq,
+        )
+        time.sleep(fault.param)
+
+    def _build_wave(
+        self,
+        alts: list,
+        decision: SpeculationDecision,
+        reservation,
+    ) -> list:
+        """The K chosen alternatives, staggered and preemption-gated.
+
+        Rank 0 (the firm slot) runs unconditionally; ranks ≥ 1 check the
+        reservation at start time and fail fast if their slot was
+        preempted away while they waited out their stagger — the
+        cheapest faithful reading of "stop launching the worlds you
+        lost" that works inside an already-running block.
+        """
+        wave = []
+        for rank, idx in enumerate(decision.order):
+            alt = alts[idx]
+            stagger = decision.staggers[rank] if rank < len(decision.staggers) else 0.0
+            fn = alt.fn
+            if rank > 0:
+                fn = _preemption_gate(fn, rank, reservation)
+            wave.append(
+                dataclasses.replace(
+                    alt, fn=fn, start_delay=alt.start_delay + stagger
+                )
+            )
+        return wave
+
+    @staticmethod
+    def _remap_indexes(outcome: BlockOutcome, decision: SpeculationDecision) -> None:
+        """Map wave-position indexes back to the caller's alternative list."""
+        mapping = {rank: idx for rank, idx in enumerate(decision.order)}
+        if outcome.winner is not None:
+            outcome.winner.index = mapping.get(outcome.winner.index, outcome.winner.index)
+        for loser in outcome.losers:
+            loser.index = mapping.get(loser.index, loser.index)
+
+
+def _preemption_gate(fn, rank: int, reservation):
+    """Wrap an alternative body to honour slot preemption at start time."""
+
+    def gated(workspace):
+        if rank >= reservation.granted:
+            raise WorldsError(
+                f"world rank {rank} preempted before start "
+                f"({reservation.preempted} slots reclaimed)"
+            )
+        return fn(workspace)
+
+    gated.__name__ = getattr(fn, "__name__", "alternative")
+    return gated

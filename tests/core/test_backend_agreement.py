@@ -1,0 +1,95 @@
+"""Property: every backend agrees on a deterministic block's outcome.
+
+The paper's section 3.3 contract — the observable result is one some
+sequential execution of a single alternative could have produced — means
+that when a block's winner is *forced* (at most one alternative can
+succeed), the sim, thread and sequential backends must all commit the
+same winner with the same value, and must all fail when nothing can
+succeed. Alternative sets are generated with exactly one (or zero)
+succeeding member so the race has only one legal outcome; the rest fail
+via a raised error or a rejecting guard.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alternative import Alternative, Guard
+from repro.core.worlds import run_alternatives
+
+BACKENDS = ("sim", "thread", "sequential")
+
+
+def make_alt(index, succeeds, value, mode):
+    """One deterministic alternative; failures via ``mode``."""
+    if succeeds:
+        def body(ws, _v=value):
+            ws["out"] = _v
+            return _v
+        guard = Guard.always()
+    elif mode == "raise":
+        def body(ws, _i=index):
+            raise ValueError(f"alt {_i} broken")
+        guard = Guard.always()
+    else:  # a body that runs but a guard that rejects its result
+        def body(ws, _v=value):
+            return _v
+        guard = Guard(name="reject", accept=lambda state, result: False)
+    return Alternative(
+        body, guard=guard, name=f"alt{index}",
+        sim_cost=0.001 * (index + 1),  # deterministic virtual-time cost
+    )
+
+
+@st.composite
+def forced_blocks(draw):
+    """A block whose winner is forced: at most one alternative succeeds."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    winner_idx = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=n - 1)))
+    modes = draw(st.lists(
+        st.sampled_from(["raise", "guard"]), min_size=n, max_size=n,
+    ))
+    values = draw(st.lists(
+        st.one_of(st.integers(-100, 100), st.text(max_size=5)),
+        min_size=n, max_size=n,
+    ))
+    alts = [
+        make_alt(i, succeeds=(i == winner_idx), value=values[i], mode=modes[i])
+        for i in range(n)
+    ]
+    return alts, winner_idx, values
+
+
+@given(forced_blocks())
+@settings(max_examples=40, deadline=None)
+def test_backends_agree_on_forced_winner(block):
+    alts, winner_idx, values = block
+    outcomes = {b: run_alternatives(alts, backend=b) for b in BACKENDS}
+    if winner_idx is None:
+        for backend, outcome in outcomes.items():
+            assert outcome.failed, f"{backend} committed with no viable alternative"
+            assert outcome.winner is None
+    else:
+        for backend, outcome in outcomes.items():
+            assert outcome.winner is not None, f"{backend} failed a winnable block"
+            assert outcome.winner.name == f"alt{winner_idx}", backend
+            assert outcome.value == values[winner_idx], backend
+
+
+@given(st.integers(-100, 100))
+@settings(max_examples=20, deadline=None)
+def test_backends_agree_on_single_alternative(value):
+    alts = [make_alt(0, succeeds=True, value=value, mode="raise")]
+    results = {b: run_alternatives(alts, backend=b).value for b in BACKENDS}
+    assert len(set(results.values())) == 1
+    assert results["sim"] == value
+
+
+@given(st.integers(min_value=1, max_value=4), st.sampled_from(["raise", "guard"]))
+@settings(max_examples=20, deadline=None)
+def test_backends_agree_when_everything_fails(n, mode):
+    alts = [make_alt(i, succeeds=False, value=i, mode=mode) for i in range(n)]
+    for backend in BACKENDS:
+        outcome = run_alternatives(alts, backend=backend)
+        assert outcome.failed, backend
+        assert outcome.winner is None, backend
+        assert len(outcome.losers) == n, backend

@@ -22,6 +22,28 @@ class TestDispatch:
         with pytest.raises(WorldsError):
             run_alternatives([fast], backend="quantum")
 
+    def test_unknown_backend_message_lists_valid_ones(self):
+        with pytest.raises(WorldsError) as exc:
+            run_alternatives([fast], backend="quantum")
+        message = str(exc.value)
+        assert "'quantum'" in message
+        for name in ("'sim'", "'fork'", "'thread'", "'sequential'"):
+            assert name in message
+
+    def test_backend_validated_before_any_side_effect(self):
+        # the bad-backend error must fire up front, before the call
+        # wires fault plans into observability or touches a backend
+        from repro.faults.plan import FaultPlan
+        from repro.obs import Observability
+
+        obs = Observability()
+        plan = FaultPlan.quiet()
+        with pytest.raises(WorldsError, match="valid backends"):
+            run_alternatives(
+                [fast], backend="quantum", fault_plan=plan, obs=obs
+            )
+        assert plan.observer is None  # watch_fault_plan never ran
+
     def test_empty_alternatives_rejected(self):
         with pytest.raises(WorldsError):
             run_alternatives([], backend="sim")

@@ -1,0 +1,101 @@
+"""summarize.py --json must survive corrupt results files.
+
+A crashed bench can leave a truncated or garbage ``results/*.json``
+behind; the merge step skips those with a warning and only fails when
+nothing at all was salvageable.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+sys.path.insert(0, BENCH_DIR)
+
+from summarize import merge_json  # noqa: E402
+
+
+def write(path, text):
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+def good_doc(bench="good", name="m", value=1.5):
+    return json.dumps(
+        {"bench": bench, "metrics": [{"name": name, "value": value, "unit": "s"}]}
+    )
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    return str(tmp_path)
+
+
+def merged(results_dir):
+    with open(os.path.join(results_dir, "BENCH_OBS.json")) as fh:
+        return json.load(fh)["metrics"]
+
+
+def test_corrupt_files_are_skipped_with_warning(results_dir, capsys):
+    write(os.path.join(results_dir, "good.json"), good_doc())
+    write(os.path.join(results_dir, "truncated.json"), good_doc()[:20])
+    write(os.path.join(results_dir, "notdict.json"), "[1, 2, 3]")
+    write(os.path.join(results_dir, "nometrics.json"), '{"bench": "x"}')
+    write(
+        os.path.join(results_dir, "badrow.json"),
+        '{"bench": "y", "metrics": [{"value": 1}]}',
+    )
+    write(
+        os.path.join(results_dir, "nonnumeric.json"),
+        '{"bench": "z", "metrics": [{"name": "m", "value": "NaN-ish"}]}',
+    )
+    valid = merge_json(results_dir)
+    assert valid == 1
+    rows = merged(results_dir)
+    assert [r["bench"] for r in rows] == ["good"]
+    err = capsys.readouterr().err
+    for fname in ("truncated", "notdict", "nometrics", "badrow", "nonnumeric"):
+        assert fname in err
+
+
+def test_chrome_trace_exports_are_silently_ignored(results_dir, capsys):
+    write(os.path.join(results_dir, "good.json"), good_doc())
+    write(os.path.join(results_dir, "fig_obs.trace.json"), '{"traceEvents": []}')
+    assert merge_json(results_dir) == 1
+    assert capsys.readouterr().err == ""
+
+
+def test_all_corrupt_returns_zero(results_dir):
+    write(os.path.join(results_dir, "junk.json"), "{{{{")
+    assert merge_json(results_dir) == 0
+    assert merged(results_dir) == []
+
+
+def test_stale_merge_output_is_not_reingested(results_dir):
+    write(os.path.join(results_dir, "good.json"), good_doc())
+    assert merge_json(results_dir) == 1
+    # a second pass must not double-count via the previous BENCH_OBS.json
+    assert merge_json(results_dir) == 1
+    assert len(merged(results_dir)) == 1
+
+
+def cli(results_dir):
+    env = dict(os.environ)
+    script = os.path.join(BENCH_DIR, "summarize.py")
+    return subprocess.run(
+        [sys.executable, script, "--json", "--results-dir", results_dir],
+        capture_output=True, text=True, env=env,
+    )
+
+
+def test_cli_exits_nonzero_only_without_any_valid_results(results_dir):
+    write(os.path.join(results_dir, "junk.json"), "not json")
+    proc = cli(results_dir)
+    assert proc.returncode != 0
+    assert "no valid results" in proc.stderr
+    write(os.path.join(results_dir, "good.json"), good_doc())
+    proc = cli(results_dir)
+    assert proc.returncode == 0, proc.stderr
