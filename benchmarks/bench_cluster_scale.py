@@ -1,0 +1,243 @@
+"""Cluster scale-out and shard-kill recovery: throughput + exactly-once.
+
+Three experiments over :mod:`repro.cluster`:
+
+- **scale sweep** — the same tenant burst against 1, 2 and 4 shards.
+  Each shard brings its own world budget and worker pool, so committed
+  throughput must rise monotonically with the shard count (the
+  scale-out headline);
+- **kill phase** — a 4-shard burst with one shard crashed mid-burst and
+  taken over (journal replay + re-land on survivors). Every admitted
+  request still commits, and kill-phase throughput holds ≥ 70% of the
+  healthy 4-shard run — losing a quarter of the cluster costs capacity,
+  not correctness and not a stampede;
+- **kill fuzz** — many seeds of the fault plan's ``cluster`` site decide
+  which shards die and when (up to 2 of 3, mid-burst,
+  ``shard_crash_fraction`` placing the crash). After each run the
+  cross-journal audit proves exactly-once: every committed request's
+  ``block`` transaction applied in exactly one shard journal.
+
+``--quick`` shrinks bursts and seed count for CI smoke.
+"""
+
+import sys
+import time
+
+from _harness import metric, report, report_json, table
+from repro.cluster import ClusterRouter, ClusterShard
+from repro.faults.plan import FaultKind, FaultPlan
+
+TENANTS = 16  # enough tenants that the ring balances 1/2/4-shard splits
+SLOTS_PER_SHARD = 2
+WORKERS_PER_SHARD = 4
+SHARD_COUNTS = (1, 2, 4)
+
+BURST = {"full": 64, "quick": 24}
+FUZZ_SEEDS = {"full": 25, "quick": 5}
+FUZZ_BURST = {"full": 30, "quick": 18}
+
+WORK_S = 0.004
+
+HEADERS = ("phase", "shards", "offered", "committed", "failover", "thru_rps")
+
+
+def make_alts(i):
+    def compute(ws):
+        time.sleep(WORK_S)
+        return i * 7
+
+    return [compute]
+
+
+def make_router(n_shards, fault_plan=None, queue_depth=256):
+    # queue depth sized to the burst: this bench measures serving
+    # throughput and failover, not admission-control backpressure
+    # (bench_serve_throughput owns that story)
+    shards = [
+        ClusterShard(
+            sid, slots=SLOTS_PER_SHARD, workers=WORKERS_PER_SHARD,
+            queue_depth=queue_depth,
+        )
+        for sid in range(n_shards)
+    ]
+    return ClusterRouter(shards, fault_plan=fault_plan)
+
+
+def run_burst(router, n_requests, kill=None):
+    """Submit a burst; ``kill`` is an optional {shard_id: request_index}
+    schedule executed inline (crash + takeover mid-burst)."""
+    kill = dict(kill or {})
+    tickets = []
+    start = time.monotonic()
+    for i in range(n_requests):
+        for sid, at in list(kill.items()):
+            if i == at:
+                router.kill_shard(sid)
+                router.takeover(sid)
+                del kill[sid]
+        tickets.append(router.submit(f"tenant-{i % TENANTS}", make_alts(i)))
+    for sid in kill:
+        router.kill_shard(sid)
+        router.takeover(sid)
+    results = [t.result(timeout=60.0) for t in tickets]
+    wall_s = time.monotonic() - start
+    return results, wall_s
+
+
+def check_burst(results, label):
+    committed = [r for r in results if r.committed]
+    assert len(committed) == len(results), (
+        f"{label}: {len(results) - len(committed)} requests did not commit: "
+        + str([(r.status, r.reason) for r in results if not r.committed][:5])
+    )
+    for i, r in enumerate(results):
+        assert r.value == i * 7, f"{label}: request {i} returned {r.value!r}"
+
+
+def audit(router, results, label):
+    """Cross-journal exactly-once: committed seqs applied exactly once."""
+    counts = router.audit_applied()
+    violations = 0
+    for r in results:
+        if not r.committed:
+            continue
+        if counts.get(r.seq, 0) != 1:
+            violations += 1
+    assert violations == 0, (
+        f"{label}: {violations} requests violated exactly-once"
+    )
+    return violations
+
+
+def scale_sweep(n_requests):
+    rows = []
+    thru = {}
+    for n_shards in SHARD_COUNTS:
+        router = make_router(n_shards).start(detect=False)
+        try:
+            results, wall_s = run_burst(router, n_requests)
+            check_burst(results, f"scale[{n_shards}]")
+            audit(router, results, f"scale[{n_shards}]")
+        finally:
+            router.stop()
+        moved = sum(1 for r in results if r.failover)
+        thru[n_shards] = len(results) / wall_s
+        rows.append(
+            ("scale", n_shards, len(results), len(results), moved, thru[n_shards])
+        )
+    return rows, thru
+
+
+def kill_phase(n_requests, healthy_thru):
+    n_shards = 4
+    router = make_router(n_shards).start(detect=False)
+    try:
+        victim = router.ring.route("tenant-0")
+        results, wall_s = run_burst(
+            router, n_requests, kill={victim: n_requests // 2}
+        )
+        check_burst(results, "kill")
+        audit(router, results, "kill")
+        moved = sum(1 for r in results if r.failover)
+    finally:
+        router.stop()
+    thru = len(results) / wall_s
+    row = ("kill", n_shards, len(results), len(results), moved, thru)
+    return row, thru, thru / healthy_thru, moved
+
+
+def kill_fuzz(n_seeds, n_requests):
+    """Seeded mid-burst shard kills; returns total exactly-once violations."""
+    violations = 0
+    kills = 0
+    for seed in range(1, n_seeds + 1):
+        plan = FaultPlan(
+            seed=seed,
+            rates={FaultKind.SHARD_CRASH: 0.6},
+            shard_crash_fraction=0.5,
+        )
+        router = make_router(3, fault_plan=plan).start(detect=False)
+        try:
+            doomed = [
+                (sid, router.crash_decision(sid, epoch=0))
+                for sid in range(3)
+                if router.crash_decision(sid, epoch=0) is not None
+            ][:2]  # keep one survivor
+            schedule = {
+                sid: int(frac * n_requests) for sid, frac in doomed
+            }
+            kills += len(schedule)
+            results, _ = run_burst(router, n_requests, kill=schedule)
+            check_burst(results, f"fuzz[{seed}]")
+            violations += audit(router, results, f"fuzz[{seed}]")
+        finally:
+            router.stop()
+    return violations, kills
+
+
+def sweep(mode):
+    rows, thru = scale_sweep(BURST[mode])
+    kill_row, kill_thru, recovery, moved = kill_phase(BURST[mode], thru[4])
+    rows.append(kill_row)
+    violations, kills = kill_fuzz(FUZZ_SEEDS[mode], FUZZ_BURST[mode])
+    return {
+        "rows": rows,
+        "thru": thru,
+        "kill_thru": kill_thru,
+        "recovery": recovery,
+        "failover_requests": moved,
+        "fuzz_violations": violations,
+        "fuzz_kills": kills,
+        "fuzz_seeds": FUZZ_SEEDS[mode],
+    }
+
+
+def _check(out):
+    thru = out["thru"]
+    assert thru[1] < thru[2] < thru[4], (
+        "throughput must rise monotonically with shard count: "
+        f"{thru[1]:.1f} / {thru[2]:.1f} / {thru[4]:.1f} req/s"
+    )
+    assert out["recovery"] >= 0.70, (
+        f"kill-phase throughput recovered only {out['recovery']:.0%} "
+        "of the healthy 4-shard run (floor: 70%)"
+    )
+    assert out["fuzz_violations"] == 0, "kill fuzz: exactly-once violated"
+    assert out["fuzz_kills"] > 0, "kill fuzz never killed a shard"
+
+
+def _metrics(out):
+    return [
+        metric("cluster_thru_1shard", out["thru"][1], "req/s"),
+        metric("cluster_thru_2shard", out["thru"][2], "req/s"),
+        metric("cluster_thru_4shard", out["thru"][4], "req/s"),
+        metric("cluster_scaleup_4v1", out["thru"][4] / out["thru"][1], "x"),
+        metric("cluster_kill_thru", out["kill_thru"], "req/s"),
+        metric("cluster_kill_recovery", out["recovery"], "ratio"),
+        metric("cluster_kill_failover_requests",
+               float(out["failover_requests"]), "count"),
+        metric("cluster_fuzz_seeds", float(out["fuzz_seeds"]), "count"),
+        metric("cluster_fuzz_shard_kills", float(out["fuzz_kills"]), "count"),
+        metric("cluster_exactly_once_violations",
+               float(out["fuzz_violations"]), "count"),
+    ]
+
+
+def _render(out):
+    return table(HEADERS, out["rows"], fmt="8.2f")
+
+
+def test_cluster_scale(benchmark):
+    out = benchmark.pedantic(sweep, args=("full",), iterations=1, rounds=1)
+    report("cluster_scale", _render(out))
+    report_json("cluster_scale", _metrics(out))
+    _check(out)
+
+
+if __name__ == "__main__":
+    mode = "quick" if "--quick" in sys.argv[1:] else "full"
+    out = sweep(mode)
+    print(_render(out))
+    report_json("cluster_scale", _metrics(out))
+    _check(out)
+    print("ok")

@@ -66,6 +66,19 @@ SECTIONS = [
         ],
     ),
     (
+        "Robustness & serving",
+        [
+            ("robustness_faults", "Fault-plan supervision matrix"),
+            ("robustness_watchdog", "Watchdog & stall recovery"),
+            ("robustness_network_link", "Network faults — link retries"),
+            ("robustness_network_lease", "Network faults — remote leases"),
+            ("robustness_commit_latency", "Commit journal — latency overhead"),
+            ("robustness_commit_recovery", "Commit journal — crash recovery"),
+            ("serve_throughput", "Speculation service — load sweep"),
+            ("cluster_scale", "Cluster — scale-out and shard-kill recovery"),
+        ],
+    ),
+    (
         "Applications",
         [
             ("app_prolog_orparallel", "OR-parallel Prolog"),

@@ -1,0 +1,44 @@
+"""The sharded speculation cluster: scale-out that survives shard death.
+
+``repro.cluster`` stacks a distribution layer over :mod:`repro.serve`:
+
+- :class:`HashRing` — consistent-hash placement of tenants onto shards,
+  deterministic across processes and minimally disturbed by membership
+  churn;
+- :class:`ClusterShard` — one shard: a
+  :class:`~repro.serve.service.SpeculationService` with its own
+  :class:`~repro.serve.budget.WorldBudget` and
+  :class:`~repro.journal.CommitJournal`, wrapped so that crashing it
+  kills everything *except* the journal;
+- :class:`ClusterRouter` — placement (with spill to idle shards and
+  work stealing off backlogged ones), lease-based failure detection,
+  and journal-replay failover: a dead shard's admitted requests are
+  replayed from its journal when their commit already applied and
+  re-landed on survivors — under the same request seq, hence the same
+  journal block id — when it did not. Every admitted request commits
+  exactly once; :meth:`ClusterRouter.audit_applied` proves it.
+
+Fault injection rides the existing planes: the plan's ``heartbeat`` /
+``partition`` sites plus the ``cluster`` site
+(:data:`~repro.faults.plan.CLUSTER_SITE`: shard-crash-mid-burst,
+partitioned router, stale takeover).
+"""
+
+from repro.cluster.ring import HashRing
+from repro.cluster.router import (
+    ClusterResult,
+    ClusterRouter,
+    ClusterTicket,
+    PARTITION_WINDOW_BEATS,
+)
+from repro.cluster.shard import ClusterShard, ShardState
+
+__all__ = [
+    "ClusterResult",
+    "ClusterRouter",
+    "ClusterShard",
+    "ClusterTicket",
+    "HashRing",
+    "PARTITION_WINDOW_BEATS",
+    "ShardState",
+]

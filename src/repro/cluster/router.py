@@ -1,0 +1,898 @@
+"""The cluster router: consistent-hash placement, spill/steal, failover.
+
+:class:`ClusterRouter` is the traffic director over N
+:class:`~repro.cluster.shard.ClusterShard` instances. Placement walks
+the :class:`~repro.cluster.ring.HashRing` preference order; load policy
+adds two or-parallel-style work-distribution moves on top:
+
+- **spill** — when a tenant's home shard has no free world slots and a
+  later preference has idle capacity, the request lands there instead
+  (counted ``mw_cluster_spills_total{src,dst}``). A spilled request is
+  tracked under its own :class:`~repro.distrib.lease.RemoteWorldLease`
+  — it is a world living away from home, and the lease is what gets
+  taken over if its host dies;
+- **steal** — each detector round, an idle shard relieves the most
+  backlogged one by pulling queued requests through
+  :meth:`~repro.serve.service.SpeculationService.steal_requests`
+  (counted ``mw_cluster_steals_total``).
+
+The robustness headline is the failure path. The router heartbeats every
+shard through the same :class:`RemoteWorldLease` state machine remote
+worlds use, fed by the existing ``heartbeat``/``partition`` fault sites
+plus the new ``cluster`` site (shard-crash-mid-burst, partitioned
+router, stale takeover). ``miss_threshold`` consecutive missed beats —
+or a full lease term without renewal — declare the shard dead and start
+a **takeover**:
+
+1. the shard is fenced (if the process is actually alive — the
+   false-positive case — it must stop committing; the lease-term
+   argument makes that safe to assume, and the simulation enforces it)
+   and its worker threads are joined, so its journal is final;
+2. the dead shard's lease is declared dead and reclaimed; per-request
+   leases for worlds it hosted are taken over via
+   :meth:`RemoteWorldLease.takeover`;
+3. every admitted-but-unresolved request assigned to it is settled from
+   the journal: a request whose ``block`` transaction already
+   **applied** is *replayed* (its result is durable — re-running would
+   double-commit; the resolved result is marked ``replayed``), and
+   everything else is *re-landed* on the next surviving shard in the
+   tenant's preference order, under the **same request seq**, so the
+   journal block id dedupes any duplicate placement.
+
+Exactly-once argument: a request commits iff its ``block`` transaction
+applies in exactly one shard journal. Before takeover reads a journal
+the shard's threads are joined (no concurrent appends); replay never
+re-runs; re-land only happens when no journal applied; and duplicate
+takeovers are suppressed because membership removal under the router
+lock is the single point of entry. :meth:`audit_applied` recomputes the
+per-seq applied count across every journal the cluster ever owned so
+benches and fuzz tests can assert it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.outcome import AlternativeResult, BlockOutcome
+from repro.distrib.lease import RemoteWorldLease, heartbeat_lost
+from repro.errors import (
+    AdmissionRejected,
+    ClusterError,
+    NoSurvivingShard,
+    ServiceStopped,
+)
+from repro.faults.plan import CLUSTER_SITE, FaultKind
+from repro.journal import find_block_win
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import ClusterShard, ShardState
+from repro.serve.admission import next_seq
+from repro.serve.service import ServeResult
+
+#: Beats per ROUTER_PARTITION decision window (the fault plan decides
+#: once per window whether the router loses sight of a shard, and the
+#: outage then covers the first ``partition_beats`` beats of it).
+PARTITION_WINDOW_BEATS = 8
+
+
+@dataclass
+class ClusterResult:
+    """What became of one cluster request.
+
+    ``failover`` records how the result was obtained: ``""`` (served in
+    place), ``"replayed"`` (recovered from a dead shard's journal),
+    ``"relanded"`` (re-run on a survivor) or ``"rerouted"`` (moved off a
+    draining shard). ``result`` is the underlying shard-level
+    :class:`~repro.serve.service.ServeResult` when one exists.
+    """
+
+    status: str
+    tenant: str
+    seq: int
+    shard_id: int | None = None
+    failover: str = ""
+    attempts: int = 1
+    reason: str = ""
+    result: ServeResult | None = None
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    @property
+    def replayed(self) -> bool:
+        return self.failover == "replayed" or (
+            self.result is not None and self.result.replayed
+        )
+
+    @property
+    def value(self) -> Any:
+        return None if self.result is None else self.result.value
+
+
+class ClusterTicket:
+    """A caller's handle on a cluster request (resolves exactly once)."""
+
+    def __init__(self, tenant: str, seq: int) -> None:
+        self.tenant = tenant
+        self.seq = seq
+        self._done = threading.Event()
+        self._result: ClusterResult | None = None
+
+    def _resolve(self, result: ClusterResult) -> None:
+        self._result = result
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> ClusterResult:
+        if not self._done.wait(timeout):
+            raise ClusterError(
+                f"request {self.seq} (tenant {self.tenant!r}) not done "
+                f"within {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class _Inflight:
+    """The router's record of one admitted, unresolved request."""
+
+    tenant: str
+    alternatives: Sequence[Any]
+    initial: dict | None
+    priority: int
+    deadline_at: float | None
+    timeout: float | None
+    cost: float
+    shard_id: int
+    attempts: int = 1
+    failover: str = ""
+    lease: RemoteWorldLease | None = field(default=None, repr=False)
+
+
+class ClusterRouter:
+    """Route tenants onto shards; survive the shards dying.
+
+    Parameters
+    ----------
+    shards:
+        The :class:`ClusterShard` members (ids must be unique).
+    vnodes:
+        Ring smoothing (see :class:`HashRing`).
+    heartbeat_s / miss_threshold / lease_term_s:
+        Failure-detector cadence, in the router's *virtual* clock: each
+        detector round advances the clock one ``heartbeat_s``.
+    detect_interval_s:
+        Real seconds between detector rounds when the background
+        detector is running. Tests may instead drive
+        :meth:`heartbeat_round` by hand.
+    spill / steal:
+        Enable the two load-balancing moves. ``steal_min_backlog`` is
+        the queue depth at which a shard becomes a victim;
+        ``steal_batch`` bounds requests moved per round.
+    fault_plan / obs:
+        Shared robustness planes. The plan's ``cluster`` site drives
+        shard-crash/partition/stale-takeover injection; ``obs`` gains
+        the ``mw_cluster_*`` family and ``cat="cluster"`` failover
+        spans.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ClusterShard],
+        vnodes: int = 64,
+        heartbeat_s: float = 0.1,
+        miss_threshold: int = 3,
+        lease_term_s: float = 0.5,
+        detect_interval_s: float = 0.01,
+        spill: bool = True,
+        steal: bool = True,
+        steal_min_backlog: int = 2,
+        steal_batch: int = 2,
+        fault_plan=None,
+        obs=None,
+    ) -> None:
+        if not shards:
+            raise ClusterError("a cluster needs at least one shard")
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ClusterError(f"duplicate shard ids: {sorted(ids)}")
+        self.heartbeat_s = heartbeat_s
+        self.miss_threshold = miss_threshold
+        self.lease_term_s = lease_term_s
+        self.detect_interval_s = detect_interval_s
+        self.spill = spill
+        self.steal = steal
+        self.steal_min_backlog = steal_min_backlog
+        self.steal_batch = steal_batch
+        self.fault_plan = fault_plan
+        self.obs = obs
+        self.ring = HashRing(vnodes=vnodes)
+        self._shards: dict[int, ClusterShard] = {}
+        self._retired: list[ClusterShard] = []
+        self._inflight: dict[int, _Inflight] = {}
+        self._tickets: dict[int, ClusterTicket] = {}
+        self._lock = threading.RLock()
+        self._running = False
+        self._beat = 0
+        self._vclock = 0.0
+        self._detector: threading.Thread | None = None
+        self._metrics_init(obs)
+        for shard in shards:
+            self._adopt(shard)
+
+    # -- telemetry ---------------------------------------------------------
+    def _metrics_init(self, obs) -> None:
+        self._req_c = self._spill_c = self._steal_c = None
+        self._takeover_c = self._failover_c = self._miss_c = self._up_g = None
+        if obs is None:
+            return
+        reg = obs.registry
+        self._req_c = reg.counter(
+            "mw_cluster_requests_total", "Requests placed, by shard",
+            labelnames=("shard",),
+        )
+        self._spill_c = reg.counter(
+            "mw_cluster_spills_total",
+            "Requests spilled off a saturated home shard",
+            labelnames=("src", "dst"),
+        )
+        self._steal_c = reg.counter(
+            "mw_cluster_steals_total",
+            "Requests stolen from a backlogged shard by an idle one",
+            labelnames=("src", "dst"),
+        )
+        self._takeover_c = reg.counter(
+            "mw_cluster_takeovers_total", "Shard takeovers, by kind",
+            labelnames=("kind",),
+        )
+        self._failover_c = reg.counter(
+            "mw_cluster_failover_requests_total",
+            "Requests settled by failover, by mode",
+            labelnames=("mode",),
+        )
+        self._miss_c = reg.counter(
+            "mw_cluster_heartbeat_misses_total",
+            "Shard heartbeats the router did not see",
+            labelnames=("shard",),
+        )
+        self._up_g = reg.gauge(
+            "mw_cluster_shards_up", "Ring members currently believed up"
+        )
+        if self.fault_plan is not None:
+            obs.watch_fault_plan(self.fault_plan)
+
+    def _count(self, counter, **labels) -> None:
+        if counter is not None:
+            counter.inc(**{k: str(v) for k, v in labels.items()})
+
+    def _set_up_gauge(self) -> None:
+        if self._up_g is not None:
+            self._up_g.set(float(sum(1 for s in self._shards.values() if s.up)))
+
+    # -- membership --------------------------------------------------------
+    def _adopt(self, shard: ClusterShard) -> None:
+        shard.service.on_resolve = self._on_shard_resolve
+        shard.lease = RemoteWorldLease(
+            lease_id=shard.shard_id, node_id=shard.shard_id,
+            term_s=self.lease_term_s, heartbeat_s=self.heartbeat_s,
+            miss_threshold=self.miss_threshold,
+            granted_at_s=self._vclock, obs=self.obs,
+        )
+        with self._lock:
+            self._shards[shard.shard_id] = shard
+            self.ring.add(shard.shard_id)
+        if self._running:
+            shard.start()
+        self._set_up_gauge()
+
+    def add_shard(self, shard: ClusterShard) -> None:
+        """Scale out (or rejoin after fencing, as a fresh incarnation)."""
+        if shard.shard_id in self._shards:
+            raise ClusterError(f"shard {shard.shard_id} is already a member")
+        self._adopt(shard)
+
+    @property
+    def shards_up(self) -> int:
+        return sum(1 for s in self._shards.values() if s.up)
+
+    def shard(self, shard_id: int) -> ClusterShard:
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise ClusterError(f"no member shard {shard_id}") from None
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "beat": self._beat,
+                "inflight": len(self._inflight),
+                "members": [s.snapshot() for s in self._shards.values()],
+                "retired": [s.shard_id for s in self._retired],
+            }
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, detect: bool = True) -> "ClusterRouter":
+        if self._running:
+            return self
+        self._running = True
+        for shard in list(self._shards.values()):
+            shard.start()
+        if detect:
+            self._detector = threading.Thread(
+                target=self._detector_loop, name="cluster-detector", daemon=True
+            )
+            self._detector.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the detector and gracefully stop every member shard."""
+        if not self._running:
+            return
+        self._running = False
+        if self._detector is not None:
+            self._detector.join(5.0)
+            self._detector = None
+        for shard in list(self._shards.values()):
+            if shard.alive:
+                shard.service.stop()
+        # anything still unresolved (e.g. re-route raced shutdown) fails
+        with self._lock:
+            leftovers = list(self._inflight.items())
+            self._inflight.clear()
+        for seq, rec in leftovers:
+            self._settle(
+                seq,
+                ClusterResult(
+                    status="cancelled", tenant=rec.tenant, seq=seq,
+                    shard_id=rec.shard_id, attempts=rec.attempts,
+                    reason="cluster stopped",
+                ),
+            )
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- placement ---------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        alternatives: Sequence[Any],
+        initial: dict | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+        cost: float = 1.0,
+    ) -> ClusterTicket:
+        """Place one request on the tenant's (preferred live) shard.
+
+        Raises :class:`~repro.errors.AdmissionRejected` when every
+        candidate shard refuses it (cluster-level backpressure, with the
+        largest ``retry_after_s`` hint seen) and
+        :class:`~repro.errors.NoSurvivingShard` when no shard is up.
+        """
+        if not self._running:
+            raise ServiceStopped("cluster is not running (call start())")
+        seq = next_seq()
+        rec = _Inflight(
+            tenant=tenant,
+            alternatives=list(alternatives),
+            initial=initial,
+            priority=priority,
+            deadline_at=(
+                None if deadline_s is None else time.monotonic() + deadline_s
+            ),
+            timeout=timeout,
+            cost=cost,
+            shard_id=-1,
+        )
+        ticket = ClusterTicket(tenant, seq)
+        with self._lock:
+            self._inflight[seq] = rec
+            self._tickets[seq] = ticket
+        try:
+            self._place(seq, rec)
+        except (AdmissionRejected, NoSurvivingShard):
+            with self._lock:
+                self._inflight.pop(seq, None)
+                self._tickets.pop(seq, None)
+            raise
+        return ticket
+
+    def _candidates(self, tenant: str, exclude: set[int]) -> list[ClusterShard]:
+        with self._lock:
+            order = self.ring.preference(tenant) if len(self.ring) else []
+            return [
+                self._shards[sid]
+                for sid in order
+                if sid not in exclude
+                and sid in self._shards
+                and self._shards[sid].up
+            ]
+
+    def _pick(self, tenant: str, exclude: set[int]) -> tuple[ClusterShard, ClusterShard | None]:
+        """(target, spill_source): preference walk plus the spill move."""
+        candidates = self._candidates(tenant, exclude)
+        if not candidates:
+            raise NoSurvivingShard(
+                f"no live shard for tenant {tenant!r} "
+                f"({len(self._shards)} members)"
+            )
+        home = candidates[0]
+        if self.spill and home.idle_slots() == 0 and home.backlog() > 0:
+            for other in candidates[1:]:
+                if other.idle_slots() > 0 and other.backlog() == 0:
+                    return other, home
+        return home, None
+
+    def _place(self, seq: int, rec: _Inflight, exclude: set[int] | None = None) -> None:
+        """Land ``rec`` on a live shard; walk candidates on refusal."""
+        exclude = set() if exclude is None else set(exclude)
+        last_rejection: AdmissionRejected | None = None
+        while True:
+            target, spilled_from = self._pick(rec.tenant, exclude)
+            try:
+                target.service.submit(
+                    rec.tenant, rec.alternatives, initial=rec.initial,
+                    priority=rec.priority, deadline_at=rec.deadline_at,
+                    timeout=rec.timeout, cost=rec.cost, seq=seq,
+                )
+            except (AdmissionRejected, ServiceStopped) as exc:
+                if isinstance(exc, AdmissionRejected):
+                    last_rejection = exc
+                exclude.add(target.shard_id)
+                if not self._candidates(rec.tenant, exclude):
+                    if last_rejection is not None:
+                        raise last_rejection
+                    raise NoSurvivingShard(
+                        f"request {seq}: every candidate shard is down"
+                    )
+                continue
+            with self._lock:
+                rec.shard_id = target.shard_id
+            self._count(self._req_c, shard=target.shard_id)
+            if spilled_from is not None:
+                self._count(
+                    self._spill_c,
+                    src=spilled_from.shard_id, dst=target.shard_id,
+                )
+                self._grant_request_lease(seq, rec, target)
+            return
+
+    def _grant_request_lease(self, seq: int, rec: _Inflight, target: ClusterShard) -> None:
+        """Track a request living away from home under its own lease."""
+        rec.lease = RemoteWorldLease(
+            lease_id=seq, node_id=target.shard_id,
+            term_s=self.lease_term_s, heartbeat_s=self.heartbeat_s,
+            miss_threshold=self.miss_threshold,
+            granted_at_s=self._vclock,
+        )
+
+    # -- resolution --------------------------------------------------------
+    def _settle(self, seq: int, result: ClusterResult) -> None:
+        with self._lock:
+            ticket = self._tickets.pop(seq, None)
+        if ticket is not None:
+            ticket._resolve(result)
+
+    def _on_shard_resolve(self, request, result: ServeResult) -> None:
+        """Shard-level resolution hook (runs on shard worker threads)."""
+        with self._lock:
+            rec = self._inflight.get(request.seq)
+            if rec is None:
+                return  # already settled (takeover won the race) or foreign
+            reroutable = (
+                result.status == "cancelled"
+                and result.retry_after_s > 0
+                and self._running
+                and rec.attempts <= len(self._shards) + 1
+            )
+            if not reroutable:
+                self._inflight.pop(request.seq, None)
+        if reroutable:
+            # a draining shard shed it with a retry hint: re-route rather
+            # than failing the caller (the shutdown-shed satellite payoff)
+            rec.attempts += 1
+            rec.failover = rec.failover or "rerouted"
+            self._count(self._failover_c, mode="rerouted")
+            try:
+                self._place(request.seq, rec, exclude={rec.shard_id})
+            except (AdmissionRejected, NoSurvivingShard) as exc:
+                with self._lock:
+                    self._inflight.pop(request.seq, None)
+                self._settle(
+                    request.seq,
+                    ClusterResult(
+                        status="failed", tenant=rec.tenant, seq=request.seq,
+                        shard_id=rec.shard_id, failover=rec.failover,
+                        attempts=rec.attempts, reason=f"re-route failed: {exc}",
+                    ),
+                )
+            return
+        if rec.lease is not None and rec.lease.alive:
+            rec.lease.complete(self._vclock)
+        self._settle(
+            request.seq,
+            ClusterResult(
+                status=result.status, tenant=rec.tenant, seq=request.seq,
+                shard_id=rec.shard_id, failover=rec.failover,
+                attempts=rec.attempts, reason=result.reason, result=result,
+            ),
+        )
+
+    # -- failure detection -------------------------------------------------
+    def _detector_loop(self) -> None:
+        while self._running:
+            try:
+                self.heartbeat_round()
+                if self.steal:
+                    self.steal_round()
+            except Exception:  # noqa: BLE001 - the detector never dies
+                pass
+            time.sleep(self.detect_interval_s)
+
+    def _router_partitioned(self, shard_id: int, beat: int) -> bool:
+        """ROUTER_PARTITION: beats the router loses to a partition window."""
+        plan = self.fault_plan
+        if plan is None:
+            return False
+        window, offset = divmod(beat, PARTITION_WINDOW_BEATS)
+        decision = plan.decide(CLUSTER_SITE, shard_id, window)
+        if decision.kind is not FaultKind.ROUTER_PARTITION:
+            return False
+        if offset >= int(decision.param):
+            return False
+        if offset == 0:
+            plan.note_injection(
+                CLUSTER_SITE, decision.kind,
+                detail=f"router blind to shard {shard_id} for "
+                f"{int(decision.param)} beats",
+                t=self._vclock, track="cluster", shard=shard_id,
+            )
+        return True
+
+    def heartbeat_round(self) -> None:
+        """One failure-detector beat over every member shard.
+
+        Advances the virtual clock by ``heartbeat_s``. A beat is missed
+        when the shard process is dead, the router is partitioned from
+        it (``ROUTER_PARTITION`` window or a ``partition``-site link
+        flap), or the beat itself is lost in flight (``heartbeat``
+        site). Misses escalate through the lease state machine exactly
+        as remote worlds do; a declaration triggers takeover.
+        """
+        self._beat += 1
+        now = self._vclock = self._beat * self.heartbeat_s
+        plan = self.fault_plan
+        for shard in list(self._shards.values()):
+            # a DEAD member is exactly what this loop exists to notice (the
+            # process died without telling anyone); only a shard mid-drain
+            # is exempt — decommission owns its lifecycle
+            if shard.state is ShardState.DRAINING:
+                continue
+            lease = shard.lease
+            answering = shard.alive and shard.state is not ShardState.FENCED
+            partitioned = self._router_partitioned(shard.shard_id, self._beat) or (
+                plan is not None and plan.link_down(shard.shard_id, now)
+            )
+            lost = heartbeat_lost(plan, lease.lease_id, self._beat, t=now)
+            if answering and not partitioned and not lost:
+                lease.renew(now)
+                if shard.state is ShardState.SUSPECT:
+                    shard.state = ShardState.UP
+                    self._set_up_gauge()
+                self._maybe_stale_takeover(shard)
+                continue
+            self._count(self._miss_c, shard=shard.shard_id)
+            reason = (
+                "shard dead" if not answering
+                else "router partitioned" if partitioned
+                else "beat lost in flight"
+            )
+            lease.miss(now, reason)
+            if shard.state is ShardState.UP:
+                shard.state = ShardState.SUSPECT
+            # probe: a synchronous liveness check straight at the shard —
+            # rescues a live shard behind a lost beat, but not one behind
+            # a partition (the probe takes the same dead path)
+            if answering and not partitioned:
+                lease.renew(now)
+                lease.note(now, "probe-ok")
+                shard.state = ShardState.UP
+                continue
+            lease.note(now, "probe-fail", reason)
+            if (
+                lease.consecutive_misses >= self.miss_threshold
+                or lease.check_expiry(now)
+            ):
+                why = (
+                    "lease expired" if lease.check_expiry(now)
+                    else f"{lease.consecutive_misses} consecutive misses"
+                )
+                lease.declare_dead(now, f"{why} ({reason})")
+                self.takeover(
+                    shard.shard_id,
+                    kind="crash" if not shard.alive else "stale",
+                )
+
+    def _maybe_stale_takeover(self, shard: ClusterShard) -> None:
+        """STALE_TAKEOVER: start a takeover for a demonstrably live shard."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        decision = plan.decide(CLUSTER_SITE, shard.shard_id, self._beat)
+        if decision.kind is not FaultKind.STALE_TAKEOVER:
+            return
+        plan.note_injection(
+            CLUSTER_SITE, decision.kind,
+            detail=f"takeover of live shard {shard.shard_id} at beat {self._beat}",
+            t=self._vclock, track="cluster", shard=shard.shard_id,
+        )
+        shard.lease.declare_dead(self._vclock, "stale takeover (injected)")
+        self.takeover(shard.shard_id, kind="stale")
+
+    # -- load balancing ----------------------------------------------------
+    def steal_round(self) -> int:
+        """Move up to ``steal_batch`` requests from the most backlogged
+        shard to an idle one; returns how many moved."""
+        with self._lock:
+            ups = [s for s in self._shards.values() if s.state is ShardState.UP]
+        if len(ups) < 2:
+            return 0
+        busy = max(ups, key=lambda s: s.backlog())
+        if busy.backlog() < self.steal_min_backlog:
+            return 0
+        idle = [
+            s for s in ups
+            if s is not busy and s.backlog() == 0 and s.idle_slots() > 0
+        ]
+        if not idle:
+            return 0
+        target = idle[0]
+        moved = 0
+        for request in busy.service.steal_requests(self.steal_batch):
+            with self._lock:
+                rec = self._inflight.get(request.seq)
+            if rec is None:
+                continue  # resolved while being stolen; drop the copy
+            rec.attempts += 1
+            try:
+                target.service.submit(
+                    rec.tenant, rec.alternatives, initial=rec.initial,
+                    priority=rec.priority, deadline_at=rec.deadline_at,
+                    timeout=rec.timeout, cost=rec.cost, seq=request.seq,
+                )
+            except (AdmissionRejected, ServiceStopped):
+                # target refused after all: put it back through the
+                # generic placement walk (home first)
+                try:
+                    self._place(request.seq, rec)
+                except (AdmissionRejected, NoSurvivingShard) as exc:
+                    with self._lock:
+                        self._inflight.pop(request.seq, None)
+                    self._settle(
+                        request.seq,
+                        ClusterResult(
+                            status="failed", tenant=rec.tenant,
+                            seq=request.seq, shard_id=rec.shard_id,
+                            attempts=rec.attempts,
+                            reason=f"steal re-place failed: {exc}",
+                        ),
+                    )
+                continue
+            with self._lock:
+                rec.shard_id = target.shard_id
+            self._grant_request_lease(request.seq, rec, target)
+            self._count(
+                self._steal_c, src=busy.shard_id, dst=target.shard_id
+            )
+            moved += 1
+        return moved
+
+    # -- failover ----------------------------------------------------------
+    def kill_shard(self, shard_id: int) -> None:
+        """Crash a member shard (bench/test injection entry point)."""
+        shard = self.shard(shard_id)
+        if self.fault_plan is not None:
+            self.fault_plan.note_injection(
+                CLUSTER_SITE, FaultKind.SHARD_CRASH,
+                detail=f"shard {shard_id} killed",
+                t=self._vclock, track="cluster", shard=shard_id,
+            )
+        shard.crash()
+
+    def crash_decision(self, shard_id: int, epoch: int = 0) -> float | None:
+        """The plan's verdict: kill ``shard_id`` this epoch? At what point?
+
+        Returns the fraction of the phase at which the crash lands, or
+        None. Benches query this per seed to schedule the mid-burst
+        kill deterministically.
+        """
+        if self.fault_plan is None:
+            return None
+        decision = self.fault_plan.decide(CLUSTER_SITE, shard_id, epoch)
+        if decision.kind is FaultKind.SHARD_CRASH:
+            return decision.param
+        return None
+
+    def decommission(self, shard_id: int) -> None:
+        """Gracefully remove a shard; its queued work re-routes.
+
+        The shard finishes in-flight requests but sheds its backlog:
+        shed requests resolve ``cancelled`` with a ``retry_after_s``
+        hint, which :meth:`_on_shard_resolve` turns into re-placement on
+        the surviving members — nobody's request fails just because its
+        shard left the cluster politely.
+        """
+        shard = self.shard(shard_id)
+        with self._lock:
+            if shard_id in self.ring:
+                self.ring.remove(shard_id)
+            self._shards.pop(shard_id, None)
+            self._retired.append(shard)
+        self._set_up_gauge()
+        shard.stop(drain=False)
+        if shard.lease is not None and shard.lease.alive:
+            shard.lease.complete(self._vclock)
+
+    def takeover(self, shard_id: int, kind: str = "crash") -> dict:
+        """Take over a (declared-)dead shard; idempotent per incarnation.
+
+        Returns a report: ``{"shard", "kind", "replayed", "relanded",
+        "failed", "stale"}``. A second call for the same shard — the
+        STALE_TAKEOVER double-fire, or two detector paths racing — finds
+        the shard already out of the membership table and returns a
+        ``stale`` no-op report without touching anything.
+        """
+        with self._lock:
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                return {
+                    "shard": shard_id, "kind": kind, "stale": True,
+                    "replayed": 0, "relanded": 0, "failed": 0,
+                }
+            # membership removal under the lock is the idempotence gate:
+            # exactly one caller gets to run the takeover body
+            self.ring.remove(shard_id)
+            self._shards.pop(shard_id)
+            self._retired.append(shard)
+        self._set_up_gauge()
+        self._count(self._takeover_c, kind=kind)
+        span_id = -1
+        if self.obs is not None:
+            span_id = self.obs.tracer.begin(
+                f"takeover:shard:{shard_id}", cat="cluster", track="cluster",
+                shard=shard_id, kind=kind,
+            )
+        # 1. fence/crash and join the shard's workers: the journal is
+        #    final after this, which is what makes step 3 race-free
+        if shard.alive:
+            shard.fence()
+        else:
+            shard.crash()
+        # 2. settle the shard's own lease
+        if shard.lease is not None:
+            shard.lease.declare_dead(self._vclock, f"takeover ({kind})")
+            shard.lease.reclaim(self._vclock)
+        # 3. settle every admitted-but-unresolved request it held
+        with self._lock:
+            orphans = [
+                (seq, rec) for seq, rec in self._inflight.items()
+                if rec.shard_id == shard_id
+            ]
+        replayed = relanded = failed = 0
+        for seq, rec in orphans:
+            win = find_block_win(shard.journal, seq)
+            if win is not None:
+                replayed += 1
+                self._finish_orphan_lease(rec, relanded_to=None)
+                with self._lock:
+                    self._inflight.pop(seq, None)
+                rec.failover = "replayed"
+                outcome = BlockOutcome(
+                    winner=AlternativeResult(
+                        index=win["winner_index"], name=win["winner_name"],
+                        value=win["value"], succeeded=True,
+                    ),
+                    elapsed_s=0.0,
+                )
+                outcome.extras["journal_recovered"] = True
+                self._count(self._failover_c, mode="replayed")
+                self._settle(
+                    seq,
+                    ClusterResult(
+                        status="committed", tenant=rec.tenant, seq=seq,
+                        shard_id=shard_id, failover="replayed",
+                        attempts=rec.attempts,
+                        result=ServeResult(
+                            status="committed", tenant=rec.tenant, seq=seq,
+                            outcome=outcome, replayed=True,
+                        ),
+                    ),
+                )
+                continue
+            # never applied anywhere: re-land on the next preference
+            rec.attempts += 1
+            rec.failover = "relanded"
+            try:
+                self._place(seq, rec, exclude={shard_id})
+            except (AdmissionRejected, NoSurvivingShard) as exc:
+                failed += 1
+                with self._lock:
+                    self._inflight.pop(seq, None)
+                self._count(self._failover_c, mode="lost")
+                self._settle(
+                    seq,
+                    ClusterResult(
+                        status="failed", tenant=rec.tenant, seq=seq,
+                        shard_id=shard_id, failover="relanded",
+                        attempts=rec.attempts,
+                        reason=f"re-land failed: {exc}",
+                    ),
+                )
+                continue
+            relanded += 1
+            self._count(self._failover_c, mode="relanded")
+            self._finish_orphan_lease(
+                rec, relanded_to=self._shards.get(rec.shard_id)
+            )
+        if span_id >= 0:
+            self.obs.tracer.end(
+                span_id, disposition="committed",
+                replayed=replayed, relanded=relanded, failed=failed,
+            )
+        return {
+            "shard": shard_id, "kind": kind, "stale": False,
+            "replayed": replayed, "relanded": relanded, "failed": failed,
+        }
+
+    def _finish_orphan_lease(self, rec: _Inflight, relanded_to) -> None:
+        """Settle (and, on re-land, hand over) a request's own lease."""
+        lease = rec.lease
+        if lease is None:
+            return
+        lease.declare_dead(self._vclock, "host shard taken over")
+        lease.reclaim(self._vclock)
+        if relanded_to is not None:
+            rec.lease = lease.takeover(self._vclock, relanded_to.shard_id)
+        else:
+            rec.lease = None
+
+    # -- auditing ----------------------------------------------------------
+    def journals(self) -> list:
+        """Every journal the cluster ever owned (members + retired)."""
+        with self._lock:
+            shards = list(self._shards.values()) + list(self._retired)
+        seen: set[int] = set()
+        out = []
+        for shard in shards:
+            if id(shard.journal) not in seen:
+                seen.add(id(shard.journal))
+                out.append(shard.journal)
+        return out
+
+    def audit_applied(self) -> dict[int, int]:
+        """Per request-seq count of *applied* ``block`` transactions
+        across every shard journal — the exactly-once ledger.
+
+        For a committed request the count must be exactly 1 (0 means a
+        lost commit, ≥2 a double commit); for a failed/shed request 0.
+        """
+        counts: dict[int, int] = {}
+        for journal in self.journals():
+            for rec in journal.records():
+                if rec.get("t") != "intent" or rec.get("kind") != "block":
+                    continue
+                if journal.status(rec["seq"]) == "applied":
+                    block = rec["data"]["block"]
+                    counts[block] = counts.get(block, 0) + 1
+        return counts

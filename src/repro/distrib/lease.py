@@ -157,15 +157,59 @@ class RemoteWorldLease:
         return (now_s - self.last_renewal_s) >= self.term_s
 
     def declare_dead(self, at_s: float, reason: str) -> None:
+        """Declare the holder dead. Idempotent on settled leases.
+
+        A lease that already ``COMPLETED`` (the result committed), was
+        ``RECLAIMED`` (the orphan torn down) or is already ``DEAD`` must
+        not be revived into ``DEAD`` — a late failure detector repeating
+        the declaration is a no-op, not a state change, and nothing is
+        re-logged.
+        """
+        if self.state in (
+            LeaseState.COMPLETED, LeaseState.RECLAIMED, LeaseState.DEAD
+        ):
+            return
         self.state = LeaseState.DEAD
         self._log(at_s, "declare-dead", reason)
 
     def reclaim(self, at_s: float) -> None:
-        """Tear down the orphan's record; its results can no longer commit."""
+        """Tear down the orphan's record; its results can no longer commit.
+
+        Reclaiming twice is a no-op (the second pass must not re-log);
+        reclaiming a live or completed lease is still a protocol error.
+        """
+        if self.state is LeaseState.RECLAIMED:
+            return
         if self.state is not LeaseState.DEAD:
             raise NetworkError(f"cannot reclaim a lease in state {self.state.value}")
         self.state = LeaseState.RECLAIMED
         self._log(at_s, "reclaim-orphan")
+
+    def takeover(self, at_s: float, new_node_id: int) -> "RemoteWorldLease":
+        """Hand a dead holder's work to ``new_node_id``; returns the new lease.
+
+        The takeover path of the cluster failover protocol: only a lease
+        already declared ``DEAD`` (reclaiming it first is fine) may be
+        taken over — taking over a live or completed lease would fork
+        the work. The successor starts ``ACTIVE`` at ``at_s`` with the
+        same ``lease_id`` and timing knobs; the predecessor logs the
+        handoff so the lineage is auditable from either record.
+        """
+        if self.state not in (LeaseState.DEAD, LeaseState.RECLAIMED):
+            raise NetworkError(
+                f"cannot take over a lease in state {self.state.value}; "
+                "declare the holder dead first"
+            )
+        self._log(at_s, "takeover", f"node {self.node_id} -> {new_node_id}")
+        return RemoteWorldLease(
+            lease_id=self.lease_id,
+            node_id=new_node_id,
+            term_s=self.term_s,
+            heartbeat_s=self.heartbeat_s,
+            miss_threshold=self.miss_threshold,
+            granted_at_s=at_s,
+            obs=self.obs,
+        )
 
     def complete(self, at_s: float) -> None:
         if not self.alive:

@@ -197,6 +197,14 @@ class ServiceStopped(ServeError):
     """The speculation service is not running (stopped or never started)."""
 
 
+class ClusterError(ServeError):
+    """Errors from the sharded speculation cluster (``repro.cluster``)."""
+
+
+class NoSurvivingShard(ClusterError):
+    """A request could not be (re-)placed: every candidate shard is down."""
+
+
 class PrologError(ReproError):
     """Errors from the mini-Prolog engine."""
 

@@ -20,6 +20,7 @@ same plan yields the same fault schedule on every run.
 
 from repro.faults.plan import (
     CHILD_SITE,
+    CLUSTER_SITE,
     COMPUTE_SITE,
     HEARTBEAT_SITE,
     JOURNAL_SITE,
@@ -29,6 +30,7 @@ from repro.faults.plan import (
     PARTITION_SITE,
     RECOVERY_KEY,
     REMOTE_SITE,
+    SERVE_SITE,
     SITE_KINDS,
     SPAWN_SITE,
     FaultDecision,
@@ -39,6 +41,7 @@ from repro.faults.supervisor import Supervisor, run_supervised
 
 __all__ = [
     "CHILD_SITE",
+    "CLUSTER_SITE",
     "COMPUTE_SITE",
     "HEARTBEAT_SITE",
     "JOURNAL_SITE",
@@ -48,6 +51,7 @@ __all__ = [
     "PARTITION_SITE",
     "RECOVERY_KEY",
     "REMOTE_SITE",
+    "SERVE_SITE",
     "SITE_KINDS",
     "SPAWN_SITE",
     "FaultDecision",

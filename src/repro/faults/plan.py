@@ -44,6 +44,13 @@ serve      REQUEST_BURST (the submit arrives as ``burst_n`` copies — a
            client retry storm), SLOW_TENANT (the request costs
            ``slow_tenant_s`` extra worker seconds) — keyed
            ``(crc32(tenant), request_seq)`` (the speculation service)
+cluster    SHARD_CRASH (one service shard dies partway through a burst,
+           at ``shard_crash_fraction`` of the phase) — keyed
+           ``(shard_id, epoch)``; ROUTER_PARTITION (the router cannot
+           see a live shard's heartbeats for ``partition_beats`` beats)
+           — keyed ``(shard_id, window)``; STALE_TAKEOVER (a takeover
+           is initiated for a shard that is not actually dead — the
+           idempotence probe) — keyed ``(shard_id, beat)``
 ========== ==================================================================
 """
 
@@ -115,6 +122,15 @@ class FaultKind(str, enum.Enum):
     #: serve: the tenant's request takes ``slow_tenant_s`` extra seconds
     #: of worker time (a pathological workload hogging its slots)
     SLOW_TENANT = "slow-tenant"
+    #: cluster: one service shard dies mid-burst (its journal survives)
+    SHARD_CRASH = "shard-crash"
+    #: cluster: the router is partitioned from a live shard — every
+    #: heartbeat in the decided window is lost even though the shard
+    #: keeps working (the false-death / fencing scenario)
+    ROUTER_PARTITION = "router-partition"
+    #: cluster: a takeover is started for a shard that is not dead (or
+    #: already taken over) — the takeover path must be idempotent
+    STALE_TAKEOVER = "stale-takeover"
 
 
 CHILD_SITE = "child"
@@ -128,6 +144,7 @@ REMOTE_SITE = "remote"
 HEARTBEAT_SITE = "heartbeat"
 JOURNAL_SITE = "journal"
 SERVE_SITE = "serve"
+CLUSTER_SITE = "cluster"
 
 #: The reserved journal-site key the recovery pass queries for
 #: DOUBLE_RECOVERY (transaction seqs start at 1, so 0 never collides).
@@ -169,6 +186,11 @@ SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
         FaultKind.DOUBLE_RECOVERY,
     ),
     SERVE_SITE: (FaultKind.REQUEST_BURST, FaultKind.SLOW_TENANT),
+    CLUSTER_SITE: (
+        FaultKind.SHARD_CRASH,
+        FaultKind.ROUTER_PARTITION,
+        FaultKind.STALE_TAKEOVER,
+    ),
 }
 
 
@@ -216,6 +238,8 @@ class FaultPlan:
     remote_crash_fraction: float = 0.5
     burst_n: float = 3.0
     slow_tenant_s: float = 0.02
+    shard_crash_fraction: float = 0.5
+    partition_beats: float = 4.0
     #: Optional telemetry sink (see :meth:`note_injection`); wired by
     #: :meth:`repro.obs.Observability.watch_fault_plan`. Excluded from
     #: equality so plans still compare by schedule.
@@ -257,6 +281,10 @@ class FaultPlan:
             return self.burst_n
         if kind is FaultKind.SLOW_TENANT:
             return self.slow_tenant_s
+        if kind is FaultKind.SHARD_CRASH:
+            return self.shard_crash_fraction
+        if kind is FaultKind.ROUTER_PARTITION:
+            return self.partition_beats
         return 0.0
 
     # -- the decision procedure -------------------------------------------

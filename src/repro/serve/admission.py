@@ -38,6 +38,17 @@ from repro.errors import AdmissionRejected, ServeError
 _seq = itertools.count(1)
 
 
+def next_seq() -> int:
+    """Draw the next service-unique request sequence number.
+
+    One process-wide counter feeds every :class:`ServeRequest`, so seqs
+    are unique *across* services too — which is what lets a cluster
+    router pre-assign a request's seq (and hence its journal block id)
+    before placing it on any particular shard.
+    """
+    return next(_seq)
+
+
 @dataclass
 class ServeRequest:
     """One tenant's speculation request, as queued.
@@ -262,6 +273,44 @@ class AdmissionQueue:
                     self._deficit.pop(tenant, None)
                 return request
         return None
+
+    def steal(self, max_n: int) -> list[ServeRequest]:
+        """Remove up to ``max_n`` queued requests for another dispatcher.
+
+        The cluster router's work-stealing hook: an idle shard relieves
+        a backlogged one. Requests are taken from the *tail* of the
+        longest lanes (newest first), so the owning shard keeps FIFO
+        order for the work it retains, and the victims are the requests
+        that would have waited longest anyway. Shadow (fault-injected
+        burst) requests are never stolen — a retry storm should keep
+        hammering the shard it hit.
+        """
+        out: list[ServeRequest] = []
+        with self._cond:
+            while len(out) < max_n and self._size > 0:
+                request = None
+                for tenant in sorted(
+                    self._lanes, key=lambda t: len(self._lanes[t]), reverse=True
+                ):
+                    lane = self._lanes[tenant]
+                    for i in range(len(lane) - 1, -1, -1):
+                        if not lane[i].shadow:
+                            request = lane[i]
+                            del lane[i]
+                            break
+                    if request is None:
+                        continue
+                    self._size -= 1
+                    if not lane:
+                        del self._lanes[tenant]
+                        self._deficit.pop(tenant, None)
+                    break
+                if request is None:
+                    break  # nothing stealable (only shadows queued)
+                out.append(request)
+            if self._depth_g is not None:
+                self._depth_g.set(float(self._size))
+        return out
 
     def shed_request(self, request: ServeRequest, reason: str) -> None:
         """Count a shed decided outside the queue (e.g. at dispatch)."""

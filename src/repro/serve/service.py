@@ -78,6 +78,11 @@ class ServeResult:
     latency_s: float = 0.0
     preempted_slots: int = 0
     replayed: bool = False
+    #: Backpressure hint on ``cancelled``/``shed`` results: when > 0,
+    #: the request was refused for a transient reason (e.g. service
+    #: shutdown) and a router may re-route or retry after this many
+    #: seconds instead of failing the caller.
+    retry_after_s: float = 0.0
 
     @property
     def committed(self) -> bool:
@@ -149,6 +154,13 @@ class SpeculationService:
         Per-request :class:`Supervisor` knobs.
     fault_plan / journal / obs:
         The robustness planes, threaded through every layer.
+    on_resolve:
+        Shard-aware hook: called as ``on_resolve(request, result)``
+        after a (non-shadow) request's ticket resolves. A cluster
+        router uses it to settle its own per-request record — and to
+        re-route ``cancelled`` results carrying a ``retry_after_s``
+        hint instead of failing the caller. Exceptions are swallowed;
+        the hook must not block.
     """
 
     def __init__(
@@ -165,6 +177,7 @@ class SpeculationService:
         fault_plan=None,
         journal=None,
         obs=None,
+        on_resolve=None,
     ) -> None:
         if workers < 1:
             raise ServeError(f"need at least one worker, got {workers}")
@@ -184,10 +197,12 @@ class SpeculationService:
         self.fault_plan = fault_plan
         self.journal = journal
         self.obs = obs
+        self.on_resolve = on_resolve
         self._threads: list[threading.Thread] = []
         self._tickets: dict[int, ServeTicket] = {}
         self._tickets_lock = threading.Lock()
         self._running = False
+        self._crashed = False
         self._requests_c = self._latency_h = self._wait_h = self._k_h = None
         if obs is not None:
             self.budget.bind_obs(obs)
@@ -228,24 +243,83 @@ class SpeculationService:
             self._threads.append(t)
         return self
 
-    def stop(self, timeout: float | None = 10.0) -> None:
-        """Stop accepting work, drain the queue, join the workers."""
+    def stop(self, timeout: float | None = 10.0, drain: bool = True) -> None:
+        """Stop accepting work, drain the queue, join the workers.
+
+        With ``drain=True`` (the default) workers finish the whole
+        backlog before exiting; with ``drain=False`` only in-flight
+        requests finish and the backlog is shed immediately — the fast
+        decommission a cluster router wants, since shed work re-routes
+        to surviving shards rather than waiting out this one's queue.
+
+        Requests still queued at shutdown are shed with the distinct
+        ``mw_serve_shed_total{reason="shutdown"}`` label and resolve as
+        ``cancelled`` carrying a ``retry_after_s`` hint — shutdown is a
+        *transient* refusal (the work was never attempted), so a cluster
+        router re-routes these to a surviving shard instead of failing
+        the caller.
+        """
         if not self._running:
             return
         self._running = False
+        drained: list = [] if drain else self.queue.drain()
         self.queue.close()
         for t in self._threads:
             t.join(timeout)
         self._threads.clear()
-        for request in self.queue.drain():
+        drained += self.queue.drain()
+        # one worker-pass worth of waiting per drained request: the same
+        # crude-but-honest estimate the admission queue hints under
+        # backpressure
+        retry_hint = max(0.005, 0.001 * len(drained))
+        for request in drained:
             self.queue.shed_request(request, reason="shutdown")
             self._resolve(
                 request,
                 ServeResult(
                     status="cancelled", tenant=request.tenant, seq=request.seq,
-                    reason="service stopped",
+                    reason="service stopped", retry_after_s=retry_hint,
                 ),
             )
+
+    def crash(self) -> None:
+        """Kill the service the way a dead shard dies: nothing graceful.
+
+        The cluster failover simulation primitive. Ticket resolution and
+        the ``on_resolve`` hook are suppressed from this point on — a
+        crashed process reports nothing — the queue closes without the
+        shutdown shed/cancel courtesy, and workers are joined so that
+        in-flight requests settle their journal transactions (the
+        journal is the only thing a crash leaves behind; whatever it
+        recorded as applied is durable, everything else is lost). A
+        router then replays/re-lands from the journal. Also models
+        *fencing*: a shard whose lease expired must stop committing,
+        which is exactly what suppressing resolution after the flag
+        achieves.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self._running = False
+        self.queue.close()
+        for t in self._threads:
+            t.join(10.0)
+        self._threads.clear()
+        self.queue.drain()
+
+    def steal_requests(self, max_n: int) -> list[ServeRequest]:
+        """Give up to ``max_n`` queued requests to another dispatcher.
+
+        The cluster work-stealing hook: the stolen requests' tickets are
+        detached (this service will never resolve them — the stealing
+        router re-places them under the same ``seq``, which keeps the
+        journal block id and hence exactly-once intact).
+        """
+        stolen = self.queue.steal(max_n)
+        with self._tickets_lock:
+            for request in stolen:
+                self._tickets.pop(request.seq, None)
+        return stolen
 
     def __enter__(self) -> "SpeculationService":
         return self.start()
@@ -263,6 +337,8 @@ class SpeculationService:
         deadline_s: float | None = None,
         timeout: float | None = None,
         cost: float = 1.0,
+        seq: int | None = None,
+        deadline_at: float | None = None,
     ) -> ServeTicket:
         """Queue one alternative block for ``tenant``; returns a ticket.
 
@@ -272,19 +348,31 @@ class SpeculationService:
         block's execution once started. Raises
         :class:`~repro.errors.AdmissionRejected` under backpressure and
         :class:`~repro.errors.ServiceStopped` when not running.
+
+        ``seq`` and ``deadline_at`` are the cluster router's re-routing
+        hooks: a re-landed request keeps its original service-unique
+        sequence number (which is also the journal block id, so a
+        duplicate placement dedupes against an already-applied commit)
+        and its original *absolute* deadline rather than getting a fresh
+        one. ``deadline_at`` overrides ``deadline_s`` when both are
+        given.
         """
         if not self._running:
             raise ServiceStopped("service is not running (call start())")
         alts = _normalize(alternatives)  # validate before queueing
         now = time.monotonic()
+        if deadline_at is None and deadline_s is not None:
+            deadline_at = now + deadline_s
+        extra = {} if seq is None else {"seq": seq}
         request = ServeRequest(
             tenant=tenant,
             alternatives=alts,
             initial=initial,
             priority=priority,
-            deadline_s=None if deadline_s is None else now + deadline_s,
+            deadline_s=deadline_at,
             timeout=timeout,
             cost=cost,
+            **extra,
         )
         ticket = ServeTicket(tenant, request.seq)
         with self._tickets_lock:
@@ -334,10 +422,17 @@ class SpeculationService:
     def _resolve(self, request: ServeRequest, result: ServeResult) -> None:
         if request.shadow:
             return
+        if self._crashed:
+            return  # a crashed shard reports nothing; the journal speaks
         with self._tickets_lock:
             ticket = self._tickets.pop(request.seq, None)
         if ticket is not None:
             ticket._resolve(result)
+        if self.on_resolve is not None:
+            try:
+                self.on_resolve(request, result)
+            except Exception:  # noqa: BLE001 - the hook must not kill a worker
+                pass
 
     def _count_status(self, tenant: str, status: str) -> None:
         if self._requests_c is not None:

@@ -1,0 +1,321 @@
+"""The cluster router: placement, spill/steal, decommission, failover."""
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterRouter, ClusterShard, ShardState
+from repro.distrib.lease import LeaseState
+from repro.errors import ClusterError, NoSurvivingShard, ServiceStopped
+from repro.faults.plan import CLUSTER_SITE, FaultKind, FaultPlan
+from repro.obs import Observability
+
+
+def value_alts(i):
+    def alt(ws):
+        return i
+
+    return [alt]
+
+
+def slow_alt(duration_s=0.15):
+    def slow(ws):
+        time.sleep(duration_s)
+        return "slow"
+
+    return [slow]
+
+
+def make_router(n=3, slots=2, workers=2, **kw):
+    shards = [ClusterShard(i, slots=slots, workers=workers) for i in range(n)]
+    return ClusterRouter(shards, **kw)
+
+
+class TestPlacement:
+    def test_requests_route_by_ring_and_commit(self):
+        with make_router(3).start(detect=False) as router:
+            tickets = [
+                router.submit(f"tenant-{i % 5}", value_alts(i)) for i in range(15)
+            ]
+            results = [t.result(timeout=10) for t in tickets]
+        assert all(r.committed for r in results)
+        assert {r.value for r in results} == set(range(15))
+        # placement followed the ring (no failover happened)
+        for r in results:
+            assert r.shard_id == router.ring.route(r.tenant)
+            assert r.failover == ""
+
+    def test_submit_requires_running_cluster(self):
+        router = make_router(2)
+        with pytest.raises(ServiceStopped):
+            router.submit("t", value_alts(1))
+
+    def test_duplicate_shard_ids_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterRouter([ClusterShard(1), ClusterShard(1)])
+
+    def test_no_surviving_shard_surfaces(self):
+        router = make_router(1).start(detect=False)
+        router.kill_shard(0)
+        router.takeover(0)
+        with pytest.raises(NoSurvivingShard):
+            router.submit("t", value_alts(1))
+        router.stop()
+
+    def test_audit_counts_every_commit_once(self):
+        with make_router(3).start(detect=False) as router:
+            results = [
+                router.submit(f"t{i % 4}", value_alts(i)).result(timeout=10)
+                for i in range(12)
+            ]
+            audit = router.audit_applied()
+        assert all(audit[r.seq] == 1 for r in results)
+
+
+class TestSpillAndSteal:
+    def test_saturated_home_spills_to_idle_shard(self):
+        shards = [ClusterShard(i, slots=1, workers=1) for i in range(2)]
+        router = ClusterRouter(shards, steal=False).start(detect=False)
+        try:
+            tenant = "sp"
+            home = router.ring.route(tenant)
+            blockers = [router.submit(tenant, slow_alt()) for _ in range(3)]
+            time.sleep(0.05)  # let the blocker occupy home's only slot
+            spilled = router.submit(tenant, value_alts(42)).result(timeout=10)
+            assert spilled.committed
+            assert spilled.shard_id != home
+            for b in blockers:
+                assert b.result(timeout=10).committed
+        finally:
+            router.stop()
+
+    def test_steal_round_moves_backlog_to_idle_shard(self):
+        shards = [ClusterShard(i, slots=1, workers=1) for i in range(2)]
+        router = ClusterRouter(
+            shards, steal=False, spill=False
+        ).start(detect=False)
+        try:
+            tenant = "sp"
+            home = router.ring.route(tenant)
+            blockers = [router.submit(tenant, slow_alt()) for _ in range(2)]
+            queued = [router.submit(tenant, value_alts(i)) for i in range(4)]
+            time.sleep(0.05)
+            moved = router.steal_round()
+            assert moved > 0
+            results = [q.result(timeout=10) for q in queued]
+            assert all(r.committed for r in results)
+            assert any(r.shard_id != home for r in results)
+            for b in blockers:
+                b.result(timeout=10)
+        finally:
+            router.stop()
+
+
+class TestDecommission:
+    def test_decommission_reroutes_backlog(self):
+        shards = [ClusterShard(i, slots=1, workers=1) for i in range(2)]
+        router = ClusterRouter(
+            shards, steal=False, spill=False
+        ).start(detect=False)
+        try:
+            tenant = "sp"
+            home = router.ring.route(tenant)
+            blockers = [router.submit(tenant, slow_alt()) for _ in range(2)]
+            queued = [router.submit(tenant, value_alts(i)) for i in range(3)]
+            time.sleep(0.03)
+            router.decommission(home)
+            results = [q.result(timeout=10) for q in queued]
+            # the backlog re-routed to the survivor instead of failing
+            assert all(r.committed for r in results)
+            assert all(r.failover == "rerouted" for r in results)
+            assert all(r.shard_id != home for r in results)
+            for b in blockers:
+                assert b.result(timeout=10).committed
+        finally:
+            router.stop()
+
+
+class TestCrashTakeover:
+    def test_kill_and_takeover_settles_every_request(self):
+        with make_router(3).start(detect=False) as router:
+            tickets = [router.submit(f"t{i}", value_alts(i)) for i in range(9)]
+            victim = router.ring.route("t0")
+            router.kill_shard(victim)
+            report = router.takeover(victim)
+            assert not report["stale"]
+            results = [t.result(timeout=10) for t in tickets]
+            assert all(r.committed for r in results)
+            # failover work is marked
+            moved = [r for r in results if r.failover]
+            assert all(r.failover in ("replayed", "relanded") for r in moved)
+            audit = router.audit_applied()
+        assert all(audit.get(r.seq, 0) == 1 for r in results)
+
+    def test_replayed_results_carry_the_journal_value(self):
+        with make_router(2).start(detect=False) as router:
+            tickets = [router.submit(f"t{i}", value_alts(i)) for i in range(6)]
+            # wait for all to finish serving, so every commit is journaled
+            results = [t.result(timeout=10) for t in tickets]
+            assert all(r.committed for r in results)
+
+            # now a fresh burst, killed immediately: whatever committed
+            # before the crash must replay with its original value
+            tickets = [router.submit(f"t{i}", value_alts(i + 100)) for i in range(6)]
+            victim = router.ring.route("t0")
+            router.kill_shard(victim)
+            router.takeover(victim)
+            for i, t in enumerate(tickets):
+                r = t.result(timeout=10)
+                assert r.committed
+                assert r.value == i + 100
+                if r.failover == "replayed":
+                    assert r.result.replayed
+
+    def test_takeover_is_idempotent(self):
+        with make_router(2).start(detect=False) as router:
+            router.kill_shard(0)
+            first = router.takeover(0)
+            second = router.takeover(0)
+        assert not first["stale"]
+        assert second["stale"]
+        assert second["replayed"] == second["relanded"] == 0
+
+    def test_takeover_hands_over_the_shard_lease(self):
+        with make_router(2).start(detect=False) as router:
+            victim = router.shard(0)
+            router.kill_shard(0)
+            router.takeover(0)
+            assert victim.lease.state is LeaseState.RECLAIMED
+            assert victim.state is ShardState.DEAD
+
+
+class TestHeartbeatDetection:
+    def test_silent_crash_is_detected_and_taken_over(self):
+        with make_router(2, miss_threshold=3).start(detect=False) as router:
+            victim = router.shard(router.ring.route("tX"))
+            victim.crash()  # dies without telling the router
+            for _ in range(4):
+                router.heartbeat_round()
+            members = {s["shard"] for s in router.snapshot()["members"]}
+            assert victim.shard_id not in members
+            assert victim.lease.state is LeaseState.RECLAIMED
+            assert "declare-dead" in victim.lease.event_names
+
+    def test_healthy_shards_keep_renewing(self):
+        with make_router(2).start(detect=False) as router:
+            for _ in range(10):
+                router.heartbeat_round()
+            assert router.shards_up == 2
+            for shard in (router.shard(0), router.shard(1)):
+                assert shard.lease.state is LeaseState.ACTIVE
+                assert shard.lease.beats_ok == 10
+
+    def test_background_detector_catches_a_kill(self):
+        router = make_router(3, detect_interval_s=0.005).start()
+        try:
+            tickets = [router.submit(f"t{i}", value_alts(i)) for i in range(9)]
+            victim = router.ring.route("t0")
+            router.shard(victim).crash()
+            deadline = time.time() + 5
+            while router.shards_up > 2 and time.time() < deadline:
+                time.sleep(0.01)
+            assert router.shards_up == 2
+            results = [t.result(timeout=10) for t in tickets]
+            assert all(r.committed for r in results)
+            audit = router.audit_applied()
+            assert all(audit.get(r.seq, 0) == 1 for r in results)
+        finally:
+            router.stop()
+
+
+class TestInjectedClusterFaults:
+    def test_stale_takeover_never_double_commits(self):
+        plan = FaultPlan(seed=7, rates={FaultKind.STALE_TAKEOVER: 0.2})
+        obs = Observability()
+        shards = [
+            ClusterShard(i, slots=2, workers=2, fault_plan=plan, obs=obs)
+            for i in range(3)
+        ]
+        router = ClusterRouter(shards, fault_plan=plan, obs=obs).start(detect=False)
+        try:
+            tickets = [router.submit(f"t{i}", value_alts(i)) for i in range(9)]
+            takeovers = 0
+            for _ in range(12):
+                before = router.shards_up
+                router.heartbeat_round()
+                takeovers += before - router.shards_up
+            assert takeovers > 0, "seed 7 should fire at least one stale takeover"
+            results = [t.result(timeout=10) for t in tickets]
+            assert all(r.committed for r in results)
+            audit = router.audit_applied()
+            assert all(audit.get(r.seq, 0) == 1 for r in results)
+        finally:
+            router.stop()
+
+    def test_router_partition_suspects_then_recovers(self):
+        # find a seed+shard where a partition window fires
+        plan = FaultPlan(seed=11, rates={FaultKind.ROUTER_PARTITION: 0.5})
+        shards = [ClusterShard(i, slots=1, workers=1, fault_plan=plan) for i in range(2)]
+        # long miss threshold: the partition (4 beats) ends before
+        # declaration (6 misses), so the shard must recover, not die
+        router = ClusterRouter(
+            shards, fault_plan=plan, miss_threshold=6, lease_term_s=10.0
+        ).start(detect=False)
+        try:
+            suspected = False
+            for _ in range(24):
+                router.heartbeat_round()
+                if any(
+                    s["state"] == "suspect"
+                    for s in router.snapshot()["members"]
+                ):
+                    suspected = True
+            assert suspected, "seed 11 should partition the router at least once"
+            assert router.shards_up == 2  # everyone recovered
+            for i in range(2):
+                assert router.shard(i).lease.alive
+        finally:
+            router.stop()
+
+    def test_crash_decision_is_deterministic(self):
+        plan = FaultPlan(seed=4, rates={FaultKind.SHARD_CRASH: 0.5})
+        shards = [ClusterShard(i, fault_plan=plan) for i in range(4)]
+        router = ClusterRouter(shards, fault_plan=plan)
+        decisions = [router.crash_decision(i, epoch=0) for i in range(4)]
+        again = [router.crash_decision(i, epoch=0) for i in range(4)]
+        assert decisions == again
+        assert any(d is not None for d in decisions)
+        for d in decisions:
+            if d is not None:
+                assert 0.0 <= d <= 1.0
+
+
+class TestScaleOut:
+    def test_add_shard_joins_ring_and_serves(self):
+        with make_router(2).start(detect=False) as router:
+            router.add_shard(ClusterShard(2))
+            assert router.shards_up == 3
+            results = [
+                router.submit(f"t{i}", value_alts(i)).result(timeout=10)
+                for i in range(12)
+            ]
+            assert all(r.committed for r in results)
+            assert {r.shard_id for r in results} == {0, 1, 2}
+
+    def test_cluster_metrics_are_exported(self):
+        obs = Observability()
+        shards = [ClusterShard(i, slots=1, workers=1, obs=obs) for i in range(2)]
+        router = ClusterRouter(shards, obs=obs).start(detect=False)
+        try:
+            for i in range(6):
+                router.submit(f"t{i}", value_alts(i)).result(timeout=10)
+            router.kill_shard(0)
+            router.takeover(0)
+        finally:
+            router.stop()
+        reg = obs.registry
+        assert "mw_cluster_requests_total" in reg
+        assert "mw_cluster_takeovers_total" in reg
+        assert "mw_cluster_shards_up" in reg
+        assert reg.get("mw_cluster_requests_total").total() >= 6
+        assert reg.get("mw_cluster_takeovers_total").total() == 1

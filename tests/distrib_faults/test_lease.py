@@ -73,6 +73,79 @@ class TestLeaseStateMachine:
             RemoteWorldLease(lease_id=1, node_id=2, miss_threshold=0)
 
 
+class TestTerminalTransitionGuards:
+    """Terminal states are sticky: late detectors must not re-log or revive."""
+
+    def test_double_declare_dead_is_a_noop(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        lease.declare_dead(0.3, "misses")
+        events = list(lease.event_names)
+        lease.declare_dead(0.4, "late detector repeats itself")
+        assert lease.state is LeaseState.DEAD
+        assert lease.event_names == events  # nothing re-logged
+
+    def test_declare_dead_on_completed_is_a_noop(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        lease.complete(0.2)
+        lease.declare_dead(0.3, "detector fired after commit")
+        assert lease.state is LeaseState.COMPLETED
+        assert lease.event_names == ["granted", "completed"]
+
+    def test_declare_dead_on_reclaimed_is_a_noop(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        lease.declare_dead(0.3, "misses")
+        lease.reclaim(0.3)
+        lease.declare_dead(0.4, "second detector path")
+        assert lease.state is LeaseState.RECLAIMED
+
+    def test_reclaim_twice_does_not_relog(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        lease.declare_dead(0.3, "misses")
+        lease.reclaim(0.3)
+        events = list(lease.event_names)
+        lease.reclaim(0.5)
+        assert lease.state is LeaseState.RECLAIMED
+        assert lease.event_names == events
+
+    def test_reclaim_after_complete_still_rejected(self):
+        lease = RemoteWorldLease(lease_id=1, node_id=2)
+        lease.complete(0.2)
+        with pytest.raises(NetworkError):
+            lease.reclaim(0.3)
+
+
+class TestTakeover:
+    def test_takeover_requires_a_dead_holder(self):
+        lease = RemoteWorldLease(lease_id=7, node_id=2)
+        with pytest.raises(NetworkError, match="declare the holder dead"):
+            lease.takeover(0.2, new_node_id=3)
+        lease.complete(0.2)
+        with pytest.raises(NetworkError):
+            lease.takeover(0.3, new_node_id=3)
+
+    def test_takeover_hands_work_to_the_successor(self):
+        lease = RemoteWorldLease(
+            lease_id=7, node_id=2, term_s=0.8, heartbeat_s=0.2, miss_threshold=5
+        )
+        lease.declare_dead(0.4, "holder crashed")
+        successor = lease.takeover(0.5, new_node_id=9)
+        assert successor.lease_id == 7
+        assert successor.node_id == 9
+        assert successor.state is LeaseState.ACTIVE
+        assert successor.granted_at_s == 0.5
+        # timing knobs carry over; the lineage is on the predecessor's log
+        assert successor.term_s == 0.8
+        assert successor.miss_threshold == 5
+        assert "takeover" in lease.event_names
+
+    def test_takeover_after_reclaim_allowed(self):
+        lease = RemoteWorldLease(lease_id=7, node_id=2)
+        lease.declare_dead(0.3, "misses")
+        lease.reclaim(0.3)
+        successor = lease.takeover(0.4, new_node_id=5)
+        assert successor.state is LeaseState.ACTIVE
+
+
 class TestFaultPlanHooks:
     def test_remote_node_crash_time(self):
         plan = FaultPlan(

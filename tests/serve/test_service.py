@@ -227,3 +227,71 @@ def test_naive_policy_holds_more_slots_than_adaptive():
         for t in tickets:
             t.result(timeout=30)
     assert naive_budget.high_watermark == 4  # pegged at the pool limit
+
+
+def test_shutdown_sheds_backlog_with_retry_hint():
+    # one worker busy on slow work; the backlog at stop(drain=False) is
+    # shed as cancelled + retry_after_s — a router's cue to re-route —
+    # under the distinct shutdown shed label
+    obs = Observability()
+    queue = AdmissionQueue(depth=16, tenant_depth=None, obs=obs)
+    svc = SpeculationService(WorldBudget(1), queue=queue, workers=1, obs=obs)
+    svc.start()
+    blocker = svc.submit("a", [slow])
+    backlog = [svc.submit("b", [fast]) for _ in range(4)]
+    time.sleep(0.005)
+    svc.stop(drain=False)
+    assert blocker.result(timeout=10).status in ("committed", "cancelled")
+    shed = [t.result(timeout=10) for t in backlog]
+    cancelled = [r for r in shed if r.status == "cancelled"]
+    assert cancelled, "stop(drain=False) must shed the backlog"
+    for r in cancelled:
+        assert r.reason == "service stopped"
+        assert r.retry_after_s > 0
+    reg = obs.registry
+    assert reg.get("mw_serve_shed_total").value(reason="shutdown") == len(cancelled)
+
+
+def test_graceful_stop_still_drains_by_default():
+    svc = SpeculationService(WorldBudget(1), workers=1)
+    svc.start()
+    tickets = [svc.submit("t", [fast]) for _ in range(4)]
+    svc.stop()
+    assert all(t.result(timeout=10).committed for t in tickets)
+
+
+def test_crash_suppresses_resolution_but_journals_survive():
+    # the cluster failover primitive: a crashed service reports nothing,
+    # but whatever committed before the crash is in the journal
+    journal = CommitJournal(storage=MemoryJournalStorage())
+    svc = SpeculationService(WorldBudget(2), workers=2, journal=journal)
+    svc.start()
+    tickets = [svc.submit("t", [fast]) for _ in range(3)]
+    for t in tickets:
+        t.result(timeout=10)  # fully served: journaled
+    svc.crash()
+    applied = [
+        r for r in journal.records()
+        if r.get("t") == "intent" and r.get("kind") == "block"
+    ]
+    assert len(applied) == 3
+    # crash twice is fine; submit after crash is refused
+    svc.crash()
+    with pytest.raises(ServiceStopped):
+        svc.submit("t", [fast])
+
+
+def test_on_resolve_hook_sees_every_resolution():
+    seen = []
+    svc = SpeculationService(
+        WorldBudget(2), workers=2, on_resolve=lambda req, res: seen.append(
+            (req.seq, res.status)
+        )
+    )
+    svc.start()
+    tickets = [svc.submit("t", [fast]) for _ in range(3)]
+    results = [t.result(timeout=10) for t in tickets]
+    svc.stop()
+    assert all(r.committed for r in results)
+    assert sorted(s for s, _ in seen) == sorted(t.result().seq for t in tickets)
+    assert all(status == "committed" for _, status in seen)
