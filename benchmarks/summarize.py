@@ -74,6 +74,8 @@ SECTIONS = [
             ("robustness_network_lease", "Network faults — remote leases"),
             ("robustness_commit_latency", "Commit journal — latency overhead"),
             ("robustness_commit_recovery", "Commit journal — crash recovery"),
+            ("restart_recovery", "Cold restart — recovery vs journal length"),
+            ("chaos_soak", "Chaos soak — cross-layer fault schedule"),
             ("serve_throughput", "Speculation service — load sweep"),
             ("cluster_scale", "Cluster — scale-out and shard-kill recovery"),
         ],

@@ -1,0 +1,42 @@
+"""``repro.chaos`` — the cross-layer chaos soak.
+
+Composes every fault site the repo has grown — child-world crashes,
+journal tears, serve-plane storms, shard death, partitions, stale
+takeovers, snapshot/compaction crashes and whole-cluster cold restarts —
+into one seeded randomized schedule, and continuously checks the
+paper's correctness story: exactly-once applied effects, byte-identical
+committed values, no lost acked request, monotonic seqs, and bounded
+replay after compaction.
+
+Run it as a module for the CI entry point::
+
+    python -m repro.chaos --seeds 25
+    python -m repro.chaos --quick          # PR-sized smoke
+
+or from code::
+
+    from repro.chaos import SoakConfig, run_soak
+
+    report = run_soak(SoakConfig(seed=7))
+    assert report.ok, report.violations
+"""
+
+from repro.chaos.soak import (
+    DEFAULT_RATES,
+    SoakConfig,
+    SoakReport,
+    Violation,
+    build_alternatives,
+    expected_value,
+    run_soak,
+)
+
+__all__ = [
+    "DEFAULT_RATES",
+    "SoakConfig",
+    "SoakReport",
+    "Violation",
+    "build_alternatives",
+    "expected_value",
+    "run_soak",
+]

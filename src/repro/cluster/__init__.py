@@ -27,6 +27,7 @@ partitioned router, stale takeover).
 from repro.cluster.ring import HashRing
 from repro.cluster.router import (
     ClusterResult,
+    ClusterRestartReport,
     ClusterRouter,
     ClusterTicket,
     PARTITION_WINDOW_BEATS,
@@ -35,6 +36,7 @@ from repro.cluster.shard import ClusterShard, ShardState
 
 __all__ = [
     "ClusterResult",
+    "ClusterRestartReport",
     "ClusterRouter",
     "ClusterShard",
     "ClusterTicket",

@@ -61,14 +61,16 @@ from repro.distrib.lease import RemoteWorldLease, heartbeat_lost
 from repro.errors import (
     AdmissionRejected,
     ClusterError,
+    JournalCrash,
     NoSurvivingShard,
     ServiceStopped,
 )
 from repro.faults.plan import CLUSTER_SITE, FaultKind
 from repro.journal import find_block_win
+from repro.journal.recovery import RecoveryReport, recover
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import ClusterShard, ShardState
-from repro.serve.admission import next_seq
+from repro.serve.admission import ensure_seq_at_least, next_seq
 from repro.serve.service import ServeResult
 
 #: Beats per ROUTER_PARTITION decision window (the fault plan decides
@@ -154,6 +156,46 @@ class _Inflight:
     attempts: int = 1
     failover: str = ""
     lease: RemoteWorldLease | None = field(default=None, repr=False)
+    spec: Any = None
+
+
+@dataclass
+class ClusterRestartReport:
+    """What :meth:`ClusterRouter.restore` rebuilt from the shard journals."""
+
+    #: per-shard recovery reports (quarantines ride inside each).
+    recoveries: dict[int, RecoveryReport] = field(default_factory=dict)
+    #: request seqs whose committed effects were found applied in *some*
+    #: journal and replayed (never re-run) — including requests applied
+    #: on a takeover survivor rather than their home shard.
+    replayed: list[int] = field(default_factory=list)
+    #: sealed-but-unapplied requests re-admitted once, under original seq.
+    re_admitted: list[int] = field(default_factory=list)
+    #: duplicate sealed admits (steal/re-land races) settled without a run.
+    superseded: list[int] = field(default_factory=list)
+    #: sealed requests with no rebuildable spec, settled ``unrecoverable``.
+    dropped: list[int] = field(default_factory=list)
+    #: the restored incarnation's first safe request seq.
+    seq_floor: int = 1
+    #: already-settled results for the replayed requests, by seq.
+    results: dict[int, "ClusterResult"] = field(default_factory=dict)
+    #: tickets for the re-admitted requests, by seq.
+    tickets: dict[int, "ClusterTicket"] = field(default_factory=dict)
+
+
+def _settle_admit_best_effort(journal: Any, seq: int, status: str) -> None:
+    """Mark an admit applied, tolerating a journal that died mid-restore.
+
+    Restore itself re-admits requests, and a re-admission's admit write
+    can tear the *home* journal (poisoning it). Settling the old admit
+    on that journal is pure bookkeeping: if the write is refused, the
+    admit simply stays sealed and the next restore deduplicates it the
+    same way — so losing the settle loses nothing.
+    """
+    try:
+        journal.mark_applied(seq, status=status)
+    except JournalCrash:
+        pass
 
 
 class ClusterRouter:
@@ -356,6 +398,189 @@ class ClusterRouter:
                 ),
             )
 
+    def crash(self) -> None:
+        """Kill the whole cluster's process-state: the full-process death.
+
+        Every shard crashes (journals survive, nothing else), the
+        detector stops, and no ticket resolves — a dead process reports
+        nothing. This is the chaos harness's whole-cluster kill switch;
+        :meth:`restore` is its inverse, rebuilding the cluster from the
+        shard journals alone.
+        """
+        self._running = False
+        if self._detector is not None:
+            self._detector.join(5.0)
+            self._detector = None
+        for shard in list(self._shards.values()) + list(self._retired):
+            if shard.alive:
+                shard.crash()
+        with self._lock:
+            self._inflight.clear()
+            self._tickets.clear()
+
+    @classmethod
+    def restore(
+        cls,
+        journals: dict[int, Any],
+        build_alternatives=None,
+        gates=(),
+        shard_kwargs: dict | None = None,
+        detect: bool = True,
+        **kwargs: Any,
+    ) -> tuple["ClusterRouter", ClusterRestartReport]:
+        """Cold-restart a whole cluster from its shard journals.
+
+        ``journals`` maps shard id -> freshly reopened
+        :class:`~repro.journal.CommitJournal` (one per shard the dead
+        cluster owned). The restart protocol:
+
+        1. recover each journal (``admit``/``block`` txns deferred to
+           this path);
+        2. bump the process-wide seq counter past every journalled
+           request seq;
+        3. build fresh shards over the same journals (journalled
+           admission forced on) and a fresh router over them;
+        4. **cross-journal audit**: a request whose ``block`` txn
+           applied in *any* journal — including a takeover survivor's,
+           not just its home shard's — is *replayed* from the durable
+           value and its sealed admit settled, so a restarted home
+           shard never re-runs it;
+        5. duplicate sealed admits for one seq (steal/re-land races cut
+           down mid-flight) are deduplicated: one re-admission, the
+           rest settled ``superseded``;
+        6. the surviving sealed admits are re-admitted once, under
+           their original seqs, via normal placement.
+
+        Returns ``(router, report)``; the router is started and the
+        report carries the replayed results and re-admission tickets.
+        """
+        shard_kwargs = dict(shard_kwargs or {})
+        fault_plan = kwargs.get("fault_plan")
+        obs = kwargs.get("obs")
+        shard_kwargs.setdefault("fault_plan", fault_plan)
+        shard_kwargs.setdefault("obs", obs)
+        items = sorted(journals.items())
+
+        report = ClusterRestartReport()
+        floor = 1
+        applied: dict[int, tuple[int, dict]] = {}
+        for sid, journal in items:
+            report.recoveries[sid] = recover(
+                journal, gates=gates, fault_plan=fault_plan,
+                defer_kinds=("admit", "block"),
+            )
+            for intent, data in journal.applied_intents("block"):
+                rseq = intent["data"]["block"]
+                floor = max(floor, rseq + 1)
+                if "value" in data and rseq not in applied:
+                    applied[rseq] = (sid, {
+                        "winner_index": intent["data"]["winner_index"],
+                        "winner_name": intent["data"]["winner_name"],
+                        "value": data["value"],
+                    })
+            for intent, _ in journal.applied_intents("admit"):
+                floor = max(floor, intent["data"]["request"] + 1)
+            for intent in journal.sealed_unapplied_intents("admit"):
+                floor = max(floor, intent["data"]["request"] + 1)
+        ensure_seq_at_least(floor)
+        report.seq_floor = floor
+
+        shards = [
+            ClusterShard(sid, journal=journal, journal_admission=True,
+                         **shard_kwargs)
+            for sid, journal in items
+        ]
+        router = cls(shards, **kwargs)
+        router.start(detect=detect)
+
+        # dedupe sealed admits across journals: exactly one incarnation
+        # of each request survives restore
+        pending: dict[int, tuple[int, Any, dict]] = {}
+        for sid, journal in items:
+            for intent in journal.sealed_unapplied_intents("admit"):
+                rseq = intent["data"]["request"]
+                if rseq in pending:
+                    _settle_admit_best_effort(
+                        journal, intent["seq"], "superseded")
+                    report.superseded.append(rseq)
+                    continue
+                pending[rseq] = (sid, journal, intent)
+
+        for rseq, (sid, journal, intent) in sorted(pending.items()):
+            data = intent["data"]
+            tenant = data.get("tenant", "?")
+            win = applied.get(rseq)
+            if win is not None:
+                # applied somewhere (possibly a takeover survivor):
+                # replay the durable value, never re-run
+                wsid, wdata = win
+                _settle_admit_best_effort(
+                    journal, intent["seq"],
+                    "recovered" if wsid == sid else "recovered-remote",
+                )
+                outcome = BlockOutcome(
+                    winner=AlternativeResult(
+                        index=wdata["winner_index"], name=wdata["winner_name"],
+                        value=wdata["value"], succeeded=True,
+                    ),
+                    elapsed_s=0.0,
+                )
+                outcome.extras["journal_recovered"] = True
+                report.replayed.append(rseq)
+                report.results[rseq] = ClusterResult(
+                    status="committed", tenant=tenant, seq=rseq,
+                    shard_id=wsid, failover="replayed",
+                    result=ServeResult(
+                        status="committed", tenant=tenant, seq=rseq,
+                        outcome=outcome, replayed=True,
+                    ),
+                )
+                router._count(router._failover_c, mode="replayed")
+                continue
+            spec = data.get("spec")
+            if build_alternatives is None or spec is None:
+                _settle_admit_best_effort(
+                    journal, intent["seq"], "unrecoverable")
+                report.dropped.append(rseq)
+                continue
+            try:
+                ticket = router.submit(
+                    tenant, build_alternatives(spec),
+                    priority=data.get("priority", 0),
+                    cost=data.get("cost", 1.0),
+                    timeout=data.get("timeout"),
+                    seq=rseq, spec=spec,
+                )
+            except (AdmissionRejected, NoSurvivingShard, JournalCrash):
+                # leave the admit sealed: a later restore retries it (a
+                # JournalCrash here is an injected crash on the *new*
+                # admit write — the durable old admit still covers it)
+                continue
+            report.re_admitted.append(rseq)
+            report.tickets[rseq] = ticket
+            # if placement landed away from home, the new shard sealed
+            # its own admit; settle the old one so only one copy of the
+            # request survives the *next* restart too
+            with router._lock:
+                landed = router._inflight.get(rseq)
+                landed_sid = landed.shard_id if landed is not None else None
+            if landed_sid != sid and journal.status(intent["seq"]) == "sealed":
+                _settle_admit_best_effort(
+                    journal, intent["seq"], "superseded")
+        if obs is not None:
+            obs.registry.counter(
+                "mw_restores_total", "Cold restarts completed from a journal",
+                labelnames=("layer",),
+            ).inc(layer="cluster")
+            obs.tracer.instant(
+                "cluster.restore", cat="cluster", track="cluster",
+                shards=len(items), replayed=len(report.replayed),
+                re_admitted=len(report.re_admitted),
+                superseded=len(report.superseded),
+                dropped=len(report.dropped), seq_floor=floor,
+            )
+        return router, report
+
     def __enter__(self) -> "ClusterRouter":
         return self.start()
 
@@ -372,6 +597,8 @@ class ClusterRouter:
         deadline_s: float | None = None,
         timeout: float | None = None,
         cost: float = 1.0,
+        seq: int | None = None,
+        spec: Any = None,
     ) -> ClusterTicket:
         """Place one request on the tenant's (preferred live) shard.
 
@@ -379,10 +606,17 @@ class ClusterRouter:
         candidate shard refuses it (cluster-level backpressure, with the
         largest ``retry_after_s`` hint seen) and
         :class:`~repro.errors.NoSurvivingShard` when no shard is up.
+
+        ``seq`` is the restore hook — a re-admitted request keeps its
+        original cluster-unique seq (and hence journal block id).
+        ``spec`` is the picklable request description journalled by
+        shards running with ``journal_admission`` (what makes the
+        request rebuildable after a whole-cluster crash).
         """
         if not self._running:
             raise ServiceStopped("cluster is not running (call start())")
-        seq = next_seq()
+        if seq is None:
+            seq = next_seq()
         rec = _Inflight(
             tenant=tenant,
             alternatives=list(alternatives),
@@ -394,6 +628,7 @@ class ClusterRouter:
             timeout=timeout,
             cost=cost,
             shard_id=-1,
+            spec=spec,
         )
         ticket = ClusterTicket(tenant, seq)
         with self._lock:
@@ -445,6 +680,7 @@ class ClusterRouter:
                     rec.tenant, rec.alternatives, initial=rec.initial,
                     priority=rec.priority, deadline_at=rec.deadline_at,
                     timeout=rec.timeout, cost=rec.cost, seq=seq,
+                    spec=rec.spec,
                 )
             except (AdmissionRejected, ServiceStopped) as exc:
                 if isinstance(exc, AdmissionRejected):
@@ -453,6 +689,26 @@ class ClusterRouter:
                 if not self._candidates(rec.tenant, exclude):
                     if last_rejection is not None:
                         raise last_rejection
+                    raise NoSurvivingShard(
+                        f"request {seq}: every candidate shard is down"
+                    )
+                continue
+            except JournalCrash:
+                # the admit write crashed the target shard's journal:
+                # that shard's process is dead (a torn write poisons its
+                # WAL). But the request was already queued there and may
+                # have raced through a worker — crash() joins the
+                # workers, making the journal final, and the durable win
+                # (if any) decides between replay and re-land. Without
+                # the check, a re-land would run the block twice.
+                target.crash()
+                self._count(self._takeover_c, kind="journal-crash")
+                win = find_block_win(target.journal, seq)
+                if win is not None:
+                    self._settle_replayed(seq, rec, target.shard_id, win)
+                    return
+                exclude.add(target.shard_id)
+                if not self._candidates(rec.tenant, exclude):
                     raise NoSurvivingShard(
                         f"request {seq}: every candidate shard is down"
                     )
@@ -467,6 +723,43 @@ class ClusterRouter:
                 )
                 self._grant_request_lease(seq, rec, target)
             return
+
+    def _settle_replayed(
+        self, seq: int, rec: _Inflight, shard_id: int, win: dict
+    ) -> None:
+        """Settle ``seq`` from a durable journalled win (exactly-once).
+
+        Used when a shard died with the request's ``block`` transaction
+        already applied in its journal: the value is replayed, never
+        re-run — the same move :meth:`takeover` and :meth:`restore`
+        make, packaged for the placement-walk crash paths.
+        """
+        with self._lock:
+            rec.shard_id = shard_id
+            self._inflight.pop(seq, None)
+        self._finish_orphan_lease(rec, relanded_to=None)
+        rec.failover = "replayed"
+        outcome = BlockOutcome(
+            winner=AlternativeResult(
+                index=win["winner_index"], name=win["winner_name"],
+                value=win["value"], succeeded=True,
+            ),
+            elapsed_s=0.0,
+        )
+        outcome.extras["journal_recovered"] = True
+        self._count(self._failover_c, mode="replayed")
+        self._settle(
+            seq,
+            ClusterResult(
+                status="committed", tenant=rec.tenant, seq=seq,
+                shard_id=shard_id, failover="replayed",
+                attempts=rec.attempts,
+                result=ServeResult(
+                    status="committed", tenant=rec.tenant, seq=seq,
+                    outcome=outcome, replayed=True,
+                ),
+            ),
+        )
 
     def _grant_request_lease(self, seq: int, rec: _Inflight, target: ClusterShard) -> None:
         """Track a request living away from home under its own lease."""
@@ -670,8 +963,24 @@ class ClusterRouter:
                     rec.tenant, rec.alternatives, initial=rec.initial,
                     priority=rec.priority, deadline_at=rec.deadline_at,
                     timeout=rec.timeout, cost=rec.cost, seq=request.seq,
+                    spec=rec.spec,
                 )
-            except (AdmissionRejected, ServiceStopped):
+            except (AdmissionRejected, ServiceStopped, JournalCrash) as refusal:
+                if isinstance(refusal, JournalCrash):
+                    # the thief's journal died taking the admit: the
+                    # thief is a dead process, and the stolen request
+                    # may already have raced through it (see _place)
+                    target.crash()
+                    win = find_block_win(target.journal, request.seq)
+                    if win is not None:
+                        # the value is durable on the thief's journal:
+                        # the source's sealed admit can close now
+                        busy.service.confirm_stolen(request)
+                        self._settle_replayed(
+                            request.seq, rec, target.shard_id, win
+                        )
+                        moved += 1
+                        continue
                 # target refused after all: put it back through the
                 # generic placement walk (home first)
                 try:
@@ -689,6 +998,11 @@ class ClusterRouter:
                         ),
                     )
                 continue
+            # the thief's admit is sealed: only now is the hand-off
+            # durable, so only now may the source close its ledger line
+            # (the reverse order would lose the request if the thief's
+            # admit write tore — no durable admit anywhere)
+            busy.service.confirm_stolen(request)
             with self._lock:
                 rec.shard_id = target.shard_id
             self._grant_request_lease(request.seq, rec, target)
@@ -889,10 +1203,9 @@ class ClusterRouter:
         """
         counts: dict[int, int] = {}
         for journal in self.journals():
-            for rec in journal.records():
-                if rec.get("t") != "intent" or rec.get("kind") != "block":
-                    continue
-                if journal.status(rec["seq"]) == "applied":
-                    block = rec["data"]["block"]
-                    counts[block] = counts.get(block, 0) + 1
+            # applied_intents (not records()) so the audit survives
+            # compaction: applied intents ride the snapshot
+            for intent, _ in journal.applied_intents("block"):
+                block = intent["data"]["block"]
+                counts[block] = counts.get(block, 0) + 1
         return counts

@@ -61,6 +61,11 @@ class ClusterShard:
     fault_plan / obs:
         The shared robustness planes. Note metrics are cluster-shared:
         shard-distinct series carry a ``shard`` label.
+    journal_admission:
+        Passed through to the service: journal every admitted request
+        as a sealed ``admit`` txn so a cold restart
+        (:meth:`ClusterRouter.restore`) can rebuild this shard's
+        backlog from its journal.
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class ClusterShard:
         fault_plan=None,
         obs=None,
         on_resolve=None,
+        journal_admission: bool = False,
     ) -> None:
         if shard_id < 0:
             raise ClusterError(f"shard_id must be non-negative, got {shard_id}")
@@ -98,6 +104,7 @@ class ClusterShard:
             journal=self.journal,
             obs=obs,
             on_resolve=on_resolve,
+            journal_admission=journal_admission,
         )
         self.state = ShardState.UP
         self.incarnation = 0

@@ -19,6 +19,7 @@ same plan yields the same fault schedule on every run.
 """
 
 from repro.faults.plan import (
+    CHAOS_SITE,
     CHILD_SITE,
     CLUSTER_SITE,
     COMPUTE_SITE,
@@ -32,6 +33,7 @@ from repro.faults.plan import (
     REMOTE_SITE,
     SERVE_SITE,
     SITE_KINDS,
+    SNAPSHOT_SITE,
     SPAWN_SITE,
     FaultDecision,
     FaultKind,
@@ -40,6 +42,7 @@ from repro.faults.plan import (
 from repro.faults.supervisor import Supervisor, run_supervised
 
 __all__ = [
+    "CHAOS_SITE",
     "CHILD_SITE",
     "CLUSTER_SITE",
     "COMPUTE_SITE",
@@ -53,6 +56,7 @@ __all__ = [
     "REMOTE_SITE",
     "SERVE_SITE",
     "SITE_KINDS",
+    "SNAPSHOT_SITE",
     "SPAWN_SITE",
     "FaultDecision",
     "FaultKind",

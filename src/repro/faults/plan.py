@@ -51,6 +51,13 @@ cluster    SHARD_CRASH (one service shard dies partway through a burst,
            — keyed ``(shard_id, window)``; STALE_TAKEOVER (a takeover
            is initiated for a shard that is not actually dead — the
            idempotence probe) — keyed ``(shard_id, beat)``
+snapshot   TORN_SNAPSHOT (the snapshot record is half-written, then the
+           process dies), COMPACTION_CRASH (the process dies after the
+           compaction snapshot is durable but before the WAL rewrite)
+           — keyed ``(snapshot_index,)`` (the journal lifecycle)
+chaos      COLD_RESTART (the whole service/cluster process-state dies
+           and must restart from its journals) — keyed
+           ``(episode, step)`` (the chaos soak harness)
 ========== ==================================================================
 """
 
@@ -131,6 +138,17 @@ class FaultKind(str, enum.Enum):
     #: cluster: a takeover is started for a shard that is not dead (or
     #: already taken over) — the takeover path must be idempotent
     STALE_TAKEOVER = "stale-takeover"
+    #: snapshot: the snapshot record is half-written, then the process
+    #: dies (recovery must quarantine the torn snapshot and fall back to
+    #: replaying the full record stream)
+    TORN_SNAPSHOT = "torn-snapshot"
+    #: snapshot: the process dies after the compaction snapshot is
+    #: durable but before the WAL is rewritten (the old file, snapshot
+    #: appended, must recover identically)
+    COMPACTION_CRASH = "compaction-crash"
+    #: chaos: the whole service/cluster process-state dies at this step
+    #: and must be rebuilt from the journals alone (cold restart)
+    COLD_RESTART = "cold-restart"
 
 
 CHILD_SITE = "child"
@@ -145,6 +163,8 @@ HEARTBEAT_SITE = "heartbeat"
 JOURNAL_SITE = "journal"
 SERVE_SITE = "serve"
 CLUSTER_SITE = "cluster"
+SNAPSHOT_SITE = "snapshot"
+CHAOS_SITE = "chaos"
 
 #: The reserved journal-site key the recovery pass queries for
 #: DOUBLE_RECOVERY (transaction seqs start at 1, so 0 never collides).
@@ -191,6 +211,11 @@ SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
         FaultKind.ROUTER_PARTITION,
         FaultKind.STALE_TAKEOVER,
     ),
+    SNAPSHOT_SITE: (
+        FaultKind.TORN_SNAPSHOT,
+        FaultKind.COMPACTION_CRASH,
+    ),
+    CHAOS_SITE: (FaultKind.COLD_RESTART,),
 }
 
 

@@ -36,6 +36,7 @@ from repro.journal.wal import (
     CommitJournal,
     FileJournalStorage,
     MemoryJournalStorage,
+    QuarantineEntry,
     find_block_win,
     record_block_win,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "CommitJournal",
     "FileJournalStorage",
     "MemoryJournalStorage",
+    "QuarantineEntry",
     "RecoveryReport",
     "SourceGate",
     "find_block_win",

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.faults.plan import JOURNAL_SITE, RECOVERY_KEY, FaultKind
-from repro.journal.wal import CommitJournal
+from repro.journal.wal import CommitJournal, QuarantineEntry
 
 
 @dataclass
@@ -40,6 +40,8 @@ class RecoveryReport:
     rolled_forward: list[int] = field(default_factory=list)
     rolled_back: list[int] = field(default_factory=list)
     skipped: list[int] = field(default_factory=list)
+    deferred: list[int] = field(default_factory=list)
+    quarantined: list[QuarantineEntry] = field(default_factory=list)
     redone_entries: int = 0
     repaired_bytes: int = 0
     passes: int = 1
@@ -51,10 +53,14 @@ class RecoveryReport:
         return not (
             self.rolled_forward or self.rolled_back
             or self.redone_entries or self.repaired_bytes
+            or self.quarantined
         )
 
 
-def recover(journal: CommitJournal, gates=(), fault_plan=None) -> RecoveryReport:
+def recover(
+    journal: CommitJournal, gates=(), fault_plan=None,
+    defer_kinds: tuple[str, ...] = ("admit",),
+) -> RecoveryReport:
     """Roll the journal's transactions to a consistent state. Idempotent.
 
     Parameters
@@ -72,6 +78,17 @@ def recover(journal: CommitJournal, gates=(), fault_plan=None) -> RecoveryReport
         Overrides the journal's plan for the ``DOUBLE_RECOVERY``
         decision (the only fault this pass itself is subject to — it is
         a repeat, not a crash).
+    defer_kinds:
+        Sealed-but-unapplied kinds to leave sealed (reported in
+        ``report.deferred``) instead of blindly marking applied: an
+        ``admit`` txn's apply phase is *serving the request*, which only
+        the restart path (``SpeculationService.restore`` /
+        ``ClusterRouter.restore``) can redo — marking it applied here
+        would silently drop the admitted request.
+
+    The report also carries ``journal.quarantines`` — one structured
+    :class:`~repro.journal.wal.QuarantineEntry` (site, offset, length,
+    CRC expected/got) per byte stretch the open quarantined.
     """
     plan = fault_plan if fault_plan is not None else journal.fault_plan
     double = False
@@ -89,18 +106,21 @@ def recover(journal: CommitJournal, gates=(), fault_plan=None) -> RecoveryReport
         repaired_bytes=journal.repaired_bytes,
         passes=2 if double else 1,
         double_recovery=double,
+        quarantined=list(journal.quarantines),
     )
     gate_map = {gate.name: gate for gate in gates}
     obs = journal.obs
     if obs is not None:
         with obs.tracer.span("recovery", cat="journal", track="journal") as h:
             for _ in range(report.passes):
-                _one_pass(journal, gate_map, report)
+                _one_pass(journal, gate_map, report, defer_kinds)
             h.settle(
                 "committed",
                 rolled_forward=len(report.rolled_forward),
                 rolled_back=len(report.rolled_back),
                 skipped=len(report.skipped),
+                deferred=len(report.deferred),
+                quarantined=len(report.quarantined),
                 redone_entries=report.redone_entries,
                 repaired_bytes=report.repaired_bytes,
                 passes=report.passes,
@@ -112,16 +132,23 @@ def recover(journal: CommitJournal, gates=(), fault_plan=None) -> RecoveryReport
         c.inc(clean=str(report.clean).lower())
     else:
         for _ in range(report.passes):
-            _one_pass(journal, gate_map, report)
+            _one_pass(journal, gate_map, report, defer_kinds)
     return report
 
 
-def _one_pass(journal: CommitJournal, gates: dict, report: RecoveryReport) -> None:
+def _one_pass(
+    journal: CommitJournal, gates: dict, report: RecoveryReport,
+    defer_kinds: tuple[str, ...],
+) -> None:
     for seq in journal.unsealed_txns():
         journal.abort(seq, reason="recovery rollback")
         report.rolled_back.append(seq)
     for seq in journal.sealed_unapplied():
         intent = journal.intent(seq)
+        if intent["kind"] in defer_kinds:
+            if seq not in report.deferred:
+                report.deferred.append(seq)
+            continue
         if intent["kind"] == "release":
             gate = gates.get(intent["data"]["device"])
             if gate is None:

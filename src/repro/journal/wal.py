@@ -32,6 +32,17 @@ read   fresh bytes consumed from a real source (``note_read``); the
        scripted input is consumed exactly once across crash/re-run.
 ====== ================================================================
 
+Snapshots & compaction: ``snapshot()`` appends one ``SNAP_MAGIC``-marked
+CRC frame checkpointing the whole ledger (applied frontier, release
+positions, reads, live intents); reopening loads the latest snapshot and
+replays only the suffix, so replay length is bounded by
+records-since-snapshot. ``compact()`` atomically rewrites the file to
+``magic + snapshot`` (temp file + rename + parent-dir fsync). A torn or
+corrupt snapshot is *quarantined* — reported as a
+:class:`QuarantineEntry` and copied to the storage's ``.quarantine``
+sidecar — and recovery degrades to full replay of the surviving
+records rather than losing data or crashing.
+
 Positions, not effect ids, carry the exactly-once guarantee: a re-run
 after recovery restarts its eid counters, but deterministic re-execution
 regenerates the same output stream, so byte positions line up and the
@@ -49,21 +60,60 @@ decision per transaction, first hit wins):
   :meth:`CommitJournal.take_armed`;
 - ``DOUBLE_RECOVERY`` is decided at the reserved key
   :data:`~repro.faults.plan.RECOVERY_KEY` by :func:`repro.journal.recovery.recover`.
+
+The ``snapshot`` site is keyed by snapshot index: ``TORN_SNAPSHOT``
+(half the snapshot frame reaches storage, then the process dies) and
+``COMPACTION_CRASH`` (the snapshot is durable, but the process dies
+before the compaction rewrite).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import struct
 import zlib
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import JournalCrash, JournalError
-from repro.faults.plan import JOURNAL_SITE, FaultKind
+from repro.faults.plan import JOURNAL_SITE, SNAPSHOT_SITE, FaultKind
 
 MAGIC = b"MWJRNL1\n"
+#: Marker preceding a snapshot frame. A snapshot interprets as a regular
+#: frame header of ~1.3 GB, so at a record boundary the marker is
+#: unambiguous — which is what lets the scanner *step over* a corrupt
+#: snapshot (its frame declares its length) instead of truncating the
+#: good records behind it.
+SNAP_MAGIC = b"MWSNAP1\n"
 _FRAME = struct.Struct("<II")
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One quarantined stretch of journal bytes, structurally reported.
+
+    ``site`` is where the damage was found (``"snapshot"`` for a
+    torn/corrupt snapshot record, ``"tail"`` for a torn record tail);
+    ``offset``/``length`` locate the bytes in the pre-repair stream, and
+    the CRC pair records what the frame promised vs what the bytes
+    hashed to (None when the frame was too torn to carry a checksum).
+    """
+
+    site: str
+    offset: int
+    length: int
+    reason: str
+    crc_expected: int | None = None
+    crc_got: int | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "site": self.site, "offset": self.offset, "length": self.length,
+            "reason": self.reason, "crc_expected": self.crc_expected,
+            "crc_got": self.crc_got,
+        }
 
 #: Fault kinds armed at ``begin`` and fired later in the transaction.
 _ARMED_KINDS = (
@@ -78,11 +128,14 @@ class MemoryJournalStorage:
 
     The instance outlives the process-under-test: a crash discards the
     :class:`CommitJournal` object but keeps this storage, exactly like a
-    real disk surviving a process death.
+    real disk surviving a process death. Quarantined byte stretches are
+    kept in :attr:`quarantine_log` (the in-memory ``.quarantine``
+    sidecar) so tests can assert on the structured report.
     """
 
     def __init__(self, data: bytes = b"") -> None:
         self._buf = bytearray(data)
+        self.quarantine_log: list[dict] = []
 
     def load(self) -> bytes:
         return bytes(self._buf)
@@ -93,15 +146,58 @@ class MemoryJournalStorage:
     def truncate(self, size: int) -> None:
         del self._buf[size:]
 
+    def replace(self, data: bytes) -> None:
+        """Atomically swap the whole journal image (compaction)."""
+        self._buf = bytearray(data)
+
+    def quarantine(self, blob: bytes, entry: dict) -> None:
+        self.quarantine_log.append({**entry, "blob": bytes(blob)})
+
     def __len__(self) -> int:
         return len(self._buf)
 
 
 class FileJournalStorage:
-    """Journal bytes in a real file, fsynced per append."""
+    """Journal bytes in a real file, fsynced per append.
+
+    Durability notes:
+
+    - The parent directory is fsynced after the file is first created
+      and after every :meth:`replace` rename: fsyncing a file makes its
+      *bytes* durable, but a directory entry that was never synced can
+      vanish wholesale on power loss, taking the freshly created or
+      renamed name with it.
+    - Appends go through ordinary ``open(..., "ab")`` (``O_APPEND``).
+      The kernel guarantees each write lands at the current end of file
+      — no interleaving, no overwrites — but a power cut mid-write can
+      still leave a *torn final record*: a prefix of the frame. That is
+      expected and safe, not a durability bug: the CRC framing detects
+      the torn tail and :class:`CommitJournal` quarantines + truncates
+      it on open. ``O_APPEND`` rules out corruption of *earlier*
+      records, not partial *final* ones.
+    - :meth:`replace` (compaction) writes a temp file, fsyncs it, then
+      ``os.replace``\\ s over the journal and fsyncs the directory — a
+      crash at any point leaves either the old image or the new one,
+      never a mix.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
+
+    @property
+    def quarantine_path(self) -> str:
+        return self.path + ".quarantine"
+
+    def _fsync_dir(self) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        try:
+            fd = os.open(parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def load(self) -> bytes:
         try:
@@ -111,14 +207,41 @@ class FileJournalStorage:
             return b""
 
     def append(self, blob: bytes) -> None:
+        created = not os.path.exists(self.path)
         with open(self.path, "ab") as fh:
             fh.write(blob)
             fh.flush()
             os.fsync(fh.fileno())
+        if created:
+            self._fsync_dir()
 
     def truncate(self, size: int) -> None:
         if os.path.exists(self.path):
             os.truncate(self.path, size)
+
+    def replace(self, data: bytes) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._fsync_dir()
+
+    def quarantine(self, blob: bytes, entry: dict) -> None:
+        """Append one JSONL report to the ``.quarantine`` sidecar.
+
+        The damaged bytes ride along hex-encoded (capped at 4 KiB) so a
+        post-mortem can inspect exactly what was dropped.
+        """
+        entry = dict(entry)
+        entry["blob_len"] = len(blob)
+        entry["blob_hex"] = blob[:4096].hex()
+        with open(self.quarantine_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fsync_dir()
 
     def __len__(self) -> int:
         try:
@@ -154,10 +277,22 @@ class CommitJournal:
         self.obs = obs
         self._txn_spans: dict[int, int] = {}
         self._txn_c = None
+        self._snap_c = self._compact_c = self._quar_c = None
         if obs is not None:
             self._txn_c = obs.registry.counter(
                 "mw_journal_txns_total", "Journal protocol steps",
                 labelnames=("kind", "phase"),
+            )
+            self._snap_c = obs.registry.counter(
+                "mw_journal_snapshots_total", "Snapshot records written",
+            )
+            self._compact_c = obs.registry.counter(
+                "mw_journal_compactions_total", "WAL compactions completed",
+            )
+            self._quar_c = obs.registry.counter(
+                "mw_journal_quarantines_total",
+                "Journal byte stretches quarantined on open",
+                labelnames=("site",),
             )
             obs.tracer.set_track_name("journal", "commit journal")
             if fault_plan is not None:
@@ -170,8 +305,19 @@ class CommitJournal:
         self._frontiers: dict[str, int] = {}
         self._reads: dict[str, bytearray] = {}
         self._armed: dict[int, FaultKind] = {}
+        self._snap_released: dict[int, set[int]] = {}
         self._next_seq = 1
+        self._snap_index = 0
+        self._snap_mark = 0
+        self._last_snapshot_frame: bytes | None = None
         self.repaired_bytes = 0
+        self.restored_from_snapshot = False
+        #: set after a torn write: the owning process is dead, and any
+        #: further append would be silently truncated away on reopen
+        #: (the scanner stops at the torn frame) — so refuse them.
+        self.poisoned = False
+        self.snapshots_loaded = 0
+        self.quarantines: list[QuarantineEntry] = []
         self._open()
 
     # -- opening / torn-tail repair ----------------------------------------
@@ -189,23 +335,147 @@ class CommitJournal:
                 return
             raise JournalError("not a commit journal (bad magic)")
         offset = len(MAGIC)
-        while offset < len(raw):
-            if offset + _FRAME.size > len(raw):
-                break  # torn frame header
+        end = len(raw)
+        tail_detail: tuple[str, int | None, int | None] | None = None
+        while offset < end:
+            if raw.startswith(SNAP_MAGIC, offset):
+                advance = self._scan_snapshot(raw, offset)
+                if advance is None:
+                    # torn snapshot at the tail: already quarantined by
+                    # _scan_snapshot, just truncate it away below.
+                    tail_detail = None
+                    break
+                offset += advance
+                continue
+            if offset + _FRAME.size > end:
+                tail_detail = ("torn frame header", None, None)
+                break
             body_len, crc = _FRAME.unpack_from(raw, offset)
             body = raw[offset + _FRAME.size : offset + _FRAME.size + body_len]
-            if len(body) < body_len or zlib.crc32(body) != crc:
-                break  # torn or corrupt tail — CRC checked before unpickle
+            if len(body) < body_len:
+                tail_detail = ("torn record body", crc, None)
+                break
+            if zlib.crc32(body) != crc:
+                # CRC checked before unpickle — unverified bytes are
+                # never deserialised.
+                tail_detail = ("record CRC mismatch", crc, zlib.crc32(body))
+                break
             try:
                 record = pickle.loads(body)
-            except Exception:
-                break  # pragma: no cover - CRC passed but body unreadable
+            except Exception:  # pragma: no cover - CRC passed, unreadable
+                tail_detail = ("record unpicklable", crc, crc)
+                break
             self._index(record)
             self._records.append(record)
             offset += _FRAME.size + body_len
-        if offset < len(raw):
-            self.repaired_bytes = len(raw) - offset
+        if offset < end:
+            tail = raw[offset:end]
+            self.repaired_bytes = len(tail)
+            if tail_detail is not None:
+                reason, crc_expected, crc_got = tail_detail
+                self._quarantine(
+                    QuarantineEntry(
+                        site="tail", offset=offset, length=len(tail),
+                        reason=reason, crc_expected=crc_expected,
+                        crc_got=crc_got,
+                    ),
+                    tail,
+                )
             self.storage.truncate(offset)
+
+    def _scan_snapshot(self, raw: bytes, offset: int) -> int | None:
+        """Parse one snapshot frame at ``offset``.
+
+        Returns the bytes consumed, or None when the snapshot is torn at
+        the tail (the caller truncates the stream there). A snapshot
+        that is *complete but corrupt* (CRC mismatch / unpicklable) is
+        quarantined and stepped over — its frame header declares its
+        length — so every record behind it still replays: corruption
+        degrades to full-replay recovery, never to data loss. (If the
+        length field itself was damaged, the step lands mid-stream and
+        the next frame fails its CRC, truncating from there — still no
+        unverified bytes are ever deserialised.)
+        """
+        start = offset
+        hdr = offset + len(SNAP_MAGIC)
+        end = len(raw)
+        if hdr + _FRAME.size > end:
+            self._quarantine(
+                QuarantineEntry(
+                    site="snapshot", offset=start, length=end - start,
+                    reason="torn snapshot frame header",
+                ),
+                raw[start:end],
+            )
+            return None
+        body_len, crc = _FRAME.unpack_from(raw, hdr)
+        body = raw[hdr + _FRAME.size : hdr + _FRAME.size + body_len]
+        if len(body) < body_len:
+            self._quarantine(
+                QuarantineEntry(
+                    site="snapshot", offset=start, length=end - start,
+                    reason="torn snapshot body", crc_expected=crc,
+                ),
+                raw[start:end],
+            )
+            return None
+        total = len(SNAP_MAGIC) + _FRAME.size + body_len
+        if zlib.crc32(body) != crc:
+            self._quarantine(
+                QuarantineEntry(
+                    site="snapshot", offset=start, length=total,
+                    reason="snapshot CRC mismatch", crc_expected=crc,
+                    crc_got=zlib.crc32(body),
+                ),
+                raw[start : start + total],
+            )
+            return total
+        try:
+            state = pickle.loads(body)
+        except Exception:  # pragma: no cover - CRC passed, unreadable
+            self._quarantine(
+                QuarantineEntry(
+                    site="snapshot", offset=start, length=total,
+                    reason="snapshot unpicklable", crc_expected=crc,
+                    crc_got=crc,
+                ),
+                raw[start : start + total],
+            )
+            return total
+        self._load_snapshot(state)
+        return total
+
+    def _load_snapshot(self, state: dict) -> None:
+        """Adopt a snapshot's ledger, discarding the records before it.
+
+        The snapshot captured exactly the index state the preceding
+        records would have rebuilt, so replacing is equivalence, not
+        loss; replay length from here on is bounded by the records
+        *after* the snapshot.
+        """
+        self._intents = dict(state["intents"])
+        self._sealed = set(state["sealed"])
+        self._applied = dict(state["applied"])
+        self._aborted = set(state["aborted"])
+        self._frontiers = dict(state["frontiers"])
+        self._reads = {d: bytearray(b) for d, b in state["reads"].items()}
+        self._snap_released = {
+            seq: set(eids) for seq, eids in state.get("released", {}).items()
+        }
+        self._next_seq = max(self._next_seq, int(state["next_seq"]))
+        self._snap_index = max(self._snap_index, int(state["snap_index"]))
+        self._records = []
+        self._snap_mark = 0
+        self.restored_from_snapshot = True
+        self.snapshots_loaded += 1
+
+    def _quarantine(self, entry: QuarantineEntry, blob: bytes) -> None:
+        self.quarantines.append(entry)
+        sidecar = getattr(self.storage, "quarantine", None)
+        if sidecar is not None:
+            sidecar(blob, entry.as_dict())
+        if self._quar_c is not None:
+            self._quar_c.inc(site=entry.site)
 
     def _index(self, record: dict) -> None:
         kind = record["t"]
@@ -239,7 +509,15 @@ class CommitJournal:
             ) from exc
         return _FRAME.pack(len(body), zlib.crc32(body)) + body
 
+    def _check_poisoned(self) -> None:
+        if self.poisoned:
+            raise JournalCrash(
+                "journal poisoned by a torn write; the owning process is "
+                "dead — reopen from storage"
+            )
+
     def _append(self, record: dict) -> None:
+        self._check_poisoned()
         self.storage.append(self._frame(record))
         self._index(record)
         self._records.append(record)
@@ -253,6 +531,7 @@ class CommitJournal:
         :class:`~repro.errors.JournalCrash` (injected torn record) or arm
         a later-stage fault for this seq.
         """
+        self._check_poisoned()
         seq = self._next_seq
         self._next_seq += 1
         record = {"t": "intent", "seq": seq, "kind": kind, "data": data}
@@ -262,6 +541,7 @@ class CommitJournal:
         if fault is FaultKind.TORN_RECORD:
             blob = self._frame(record)
             self.storage.append(blob[: max(1, len(blob) // 2)])
+            self.poisoned = True
             self.fault_plan.note_injection(
                 JOURNAL_SITE, fault, detail=f"torn intent (txn {seq})",
                 track="journal", txn=seq, txn_kind=kind,
@@ -388,6 +668,138 @@ class CommitJournal:
         """Pop the armed later-stage fault for ``seq`` (gate release loop)."""
         return self._armed.pop(seq, None)
 
+    # -- snapshots & compaction --------------------------------------------
+    def _snapshot_state(self) -> dict:
+        released: dict[int, set[int]] = {
+            seq: set(eids) for seq, eids in self._snap_released.items()
+            if seq not in self._applied
+        }
+        for rec in self._records:
+            if (
+                rec["t"] == "release"
+                and rec["seq"] is not None
+                and rec["seq"] not in self._applied
+            ):
+                released.setdefault(rec["seq"], set()).add(rec["eid"])
+        return {
+            "snap_index": self._snap_index,
+            "next_seq": self._next_seq,
+            "frontiers": dict(self._frontiers),
+            "reads": {d: bytes(b) for d, b in self._reads.items()},
+            # aborted txns keep their seq (status stays answerable) but
+            # drop their intent payload — recovery never redoes them.
+            "intents": {
+                seq: rec for seq, rec in self._intents.items()
+                if seq not in self._aborted
+            },
+            "sealed": sorted(self._sealed),
+            "applied": dict(self._applied),
+            "aborted": sorted(self._aborted),
+            # eids already released under still-open release txns, so a
+            # post-compaction recovery redo still dedups them.
+            "released": {seq: sorted(eids) for seq, eids in released.items()},
+        }
+
+    def snapshot(self) -> int:
+        """Checkpoint the whole ledger as one CRC-framed snapshot record.
+
+        The snapshot carries the applied frontier, release positions,
+        journalled reads, and every live intent — everything ``_open``
+        would have rebuilt by replaying the records before it — so a
+        reopen loads the snapshot and replays only the suffix. Returns
+        the snapshot index. May raise :class:`~repro.errors.JournalCrash`
+        (injected ``TORN_SNAPSHOT``: half the frame reaches storage; the
+        next open quarantines the torn snapshot and falls back to full
+        replay).
+        """
+        self._check_poisoned()
+        self._snap_index += 1
+        state = self._snapshot_state()
+        body = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = SNAP_MAGIC + _FRAME.pack(len(body), zlib.crc32(body)) + body
+        fault = None
+        if self.fault_plan is not None:
+            fault = self.fault_plan.decide(SNAPSHOT_SITE, self._snap_index).kind
+        if fault is FaultKind.TORN_SNAPSHOT:
+            cut = len(SNAP_MAGIC) + max(1, (len(frame) - len(SNAP_MAGIC)) // 2)
+            self.storage.append(frame[:cut])
+            self.poisoned = True
+            self.fault_plan.note_injection(
+                SNAPSHOT_SITE, fault,
+                detail=f"torn snapshot {self._snap_index}", track="journal",
+                snapshot=self._snap_index,
+            )
+            raise JournalCrash(
+                f"injected torn snapshot (snapshot {self._snap_index})",
+                kind=fault,
+            )
+        self.storage.append(frame)
+        self._last_snapshot_frame = frame
+        self._snap_mark = len(self._records)
+        if self._snap_c is not None:
+            self._snap_c.inc()
+        if self.obs is not None:
+            self.obs.tracer.instant(
+                "journal.snapshot", cat="journal", track="journal",
+                snapshot=self._snap_index, bytes=len(frame),
+            )
+        return self._snap_index
+
+    def compact(self) -> dict:
+        """Truncate the WAL to ``magic + fresh snapshot``.
+
+        Takes a snapshot (durably appended first — a crash between the
+        append and the rewrite loses nothing, the next open just loads
+        the snapshot from the old image), then atomically replaces the
+        whole journal with ``MAGIC + snapshot``. The exactly-once ledger
+        (frontiers, applied values, reads, open-txn released eids) rides
+        the snapshot, so recovery semantics are unchanged; only replay
+        length shrinks. Returns compaction stats. May raise
+        :class:`~repro.errors.JournalCrash` (``TORN_SNAPSHOT`` from the
+        embedded snapshot, or ``COMPACTION_CRASH`` after the snapshot is
+        durable but before the rewrite).
+        """
+        replace = getattr(self.storage, "replace", None)
+        if replace is None:
+            raise JournalError(
+                "journal storage does not support compaction (no replace())"
+            )
+        before = len(self.storage)
+        dropped = len(self._records)
+        snap_index = self.snapshot()
+        if self.fault_plan is not None:
+            fault = self.fault_plan.decide(SNAPSHOT_SITE, snap_index).kind
+            if fault is FaultKind.COMPACTION_CRASH:
+                self.fault_plan.note_injection(
+                    SNAPSHOT_SITE, fault,
+                    detail=f"crash mid-compaction (snapshot {snap_index})",
+                    track="journal", snapshot=snap_index,
+                )
+                raise JournalCrash(
+                    f"injected crash mid-compaction (snapshot {snap_index})",
+                    kind=fault,
+                )
+        replace(MAGIC + self._last_snapshot_frame)
+        self._records = []
+        self._snap_mark = 0
+        if self._compact_c is not None:
+            self._compact_c.inc()
+        stats = {
+            "snap_index": snap_index,
+            "before_bytes": before,
+            "after_bytes": len(self.storage),
+            "records_dropped": dropped,
+        }
+        if self.obs is not None:
+            self.obs.tracer.instant(
+                "journal.compact", cat="journal", track="journal", **stats
+            )
+        return stats
+
+    def records_since_snapshot(self) -> int:
+        """Records appended after the latest snapshot — the replay bound."""
+        return len(self._records) - self._snap_mark
+
     # -- introspection -----------------------------------------------------
     def records(self) -> list[dict]:
         return list(self._records)
@@ -422,11 +834,18 @@ class CommitJournal:
         return sorted(seq for seq in self._sealed if seq not in self._applied)
 
     def released_eids(self, seq: int) -> set[int]:
-        """Effect ids already released under transaction ``seq``."""
-        return {
+        """Effect ids already released under transaction ``seq``.
+
+        Unions the post-snapshot release records with the eids the
+        latest snapshot carried for still-open txns, so compaction never
+        forgets a partial release.
+        """
+        eids = set(self._snap_released.get(seq, ()))
+        eids.update(
             r["eid"] for r in self._records
             if r["t"] == "release" and r["seq"] == seq
-        }
+        )
+        return eids
 
     def _matches(self, seq: int, kind: str, match: dict) -> bool:
         intent = self._intents[seq]
@@ -448,6 +867,32 @@ class CommitJournal:
             if self._matches(seq, kind, match):
                 return self._intents[seq], self._applied[seq]
         return None
+
+    def applied_intents(self, kind: str) -> list[tuple[dict, dict]]:
+        """Every applied txn of ``kind`` as ``(intent, applied_data)``,
+        ascending seq.
+
+        Unlike scanning :meth:`records`, this survives compaction —
+        applied intents ride the snapshot — so cross-journal audits and
+        restart replay must use it.
+        """
+        return [
+            (self._intents[seq], self._applied[seq])
+            for seq in sorted(self._applied)
+            if seq in self._intents and self._intents[seq]["kind"] == kind
+        ]
+
+    def sealed_unapplied_intents(self, kind: str) -> list[dict]:
+        """Sealed-but-unapplied intents of ``kind``, ascending seq.
+
+        These are the txns a cold restart must finish: for ``admit``
+        txns, re-admit the request under its original seq.
+        """
+        return [
+            self._intents[seq]
+            for seq in self.sealed_unapplied()
+            if seq in self._intents and self._intents[seq]["kind"] == kind
+        ]
 
 
 # -- backend helpers -------------------------------------------------------

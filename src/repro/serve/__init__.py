@@ -30,7 +30,12 @@ Components (each usable standalone):
 """
 
 from repro.errors import AdmissionRejected, QuotaExceeded, ServeError, ServiceStopped
-from repro.serve.admission import AdmissionQueue, ServeRequest
+from repro.serve.admission import (
+    AdmissionQueue,
+    ServeRequest,
+    ensure_seq_at_least,
+    next_seq,
+)
 from repro.serve.budget import Reservation, WorldBudget
 from repro.serve.policy import (
     AdaptiveSpeculationPolicy,
@@ -38,6 +43,7 @@ from repro.serve.policy import (
     SpeculationDecision,
 )
 from repro.serve.service import (
+    RestartReport,
     ServeResult,
     ServeTicket,
     SpeculationService,
@@ -53,6 +59,7 @@ __all__ = [
     "FixedSpeculationPolicy",
     "QuotaExceeded",
     "Reservation",
+    "RestartReport",
     "ServeError",
     "ServeRequest",
     "ServeResult",
@@ -61,4 +68,6 @@ __all__ = [
     "SpeculationDecision",
     "SpeculationService",
     "WorldBudget",
+    "ensure_seq_at_least",
+    "next_seq",
 ]

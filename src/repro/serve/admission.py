@@ -35,7 +35,33 @@ from typing import Any, Sequence
 
 from repro.errors import AdmissionRejected, ServeError
 
-_seq = itertools.count(1)
+
+class _SeqCounter:
+    """The process-wide request seq source, bumpable for cold restart.
+
+    A restarted incarnation must never reuse a seq the dead one already
+    journalled (seq is the journal block id — reuse would alias two
+    requests onto one exactly-once ledger line), so restore paths call
+    :meth:`ensure_at_least` with ``max journalled seq + 1`` before
+    admitting anything new.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._it = itertools.count(1)
+
+    def next(self) -> int:
+        with self._lock:
+            return next(self._it)
+
+    def ensure_at_least(self, floor: int) -> None:
+        """Bump the counter so the next draw is ``>= floor``."""
+        with self._lock:
+            current = next(self._it)
+            self._it = itertools.count(max(current, floor))
+
+
+_seq = _SeqCounter()
 
 
 def next_seq() -> int:
@@ -46,7 +72,16 @@ def next_seq() -> int:
     router pre-assign a request's seq (and hence its journal block id)
     before placing it on any particular shard.
     """
-    return next(_seq)
+    return _seq.next()
+
+
+def ensure_seq_at_least(floor: int) -> None:
+    """Guarantee future :func:`next_seq` draws are ``>= floor``.
+
+    Called by the restore paths after scanning journals, so a restarted
+    process never hands out a seq its dead predecessor already used.
+    """
+    _seq.ensure_at_least(floor)
 
 
 @dataclass
@@ -68,9 +103,13 @@ class ServeRequest:
     deadline_s: float | None = None
     timeout: float | None = None
     cost: float = 1.0
-    seq: int = field(default_factory=lambda: next(_seq))
+    seq: int = field(default_factory=next_seq)
     submitted_at: float = field(default_factory=time.monotonic)
     shadow: bool = False
+    #: opaque caller payload; must be picklable when journalled admission
+    #: is on (it rides the ``admit`` intent so a cold restart can
+    #: re-admit the request).
+    spec: Any = None
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline_s is None:

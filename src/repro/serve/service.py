@@ -43,10 +43,17 @@ from typing import Any, Sequence
 
 from repro.core.outcome import BlockOutcome
 from repro.core.worlds import _normalize
-from repro.errors import AdmissionRejected, ServeError, ServiceStopped, WorldsError
+from repro.errors import (
+    AdmissionRejected,
+    JournalCrash,
+    ServeError,
+    ServiceStopped,
+    WorldsError,
+)
 from repro.faults.plan import SERVE_SITE, FaultKind
 from repro.faults.supervisor import Supervisor
-from repro.serve.admission import AdmissionQueue, ServeRequest
+from repro.journal.recovery import RecoveryReport, recover
+from repro.serve.admission import AdmissionQueue, ServeRequest, ensure_seq_at_least
 from repro.serve.budget import WorldBudget
 from repro.serve.policy import AdaptiveSpeculationPolicy, SpeculationDecision
 from repro.serve.stats import AlternativeStats
@@ -91,6 +98,25 @@ class ServeResult:
     @property
     def value(self) -> Any:
         return self.outcome.value if self.outcome is not None else None
+
+
+@dataclass
+class RestartReport:
+    """What :meth:`SpeculationService.restore` rebuilt from disk."""
+
+    recovery: RecoveryReport
+    #: request seqs whose effects were already applied before the crash
+    #: (their committed values are replayable via the journal).
+    already_applied: list[int] = field(default_factory=list)
+    #: sealed-but-unapplied requests re-admitted under their original seq.
+    re_admitted: list[int] = field(default_factory=list)
+    #: sealed requests that could not be rebuilt (no ``spec`` /
+    #: no builder); their admit txns are settled ``unrecoverable``.
+    dropped: list[int] = field(default_factory=list)
+    #: the restored incarnation's first safe request seq.
+    seq_floor: int = 1
+    #: tickets for the re-admitted requests, by request seq.
+    tickets: dict[int, "ServeTicket"] = field(default_factory=dict)
 
 
 class ServeTicket:
@@ -154,6 +180,16 @@ class SpeculationService:
         Per-request :class:`Supervisor` knobs.
     fault_plan / journal / obs:
         The robustness planes, threaded through every layer.
+    journal_admission:
+        When True (and a journal is present), every non-shadow submit is
+        journalled as a sealed ``admit`` transaction carrying the
+        request's ``spec``, and its resolution marks the txn applied
+        with the final status. This is what makes a request *durable
+        once acked*: a full-process crash leaves the sealed admit on
+        disk, and :meth:`restore` re-admits it under its original seq
+        (the supervisor then replays any already-applied block win
+        instead of re-running). Off by default — a purely in-memory
+        service has no restart story to pay for.
     on_resolve:
         Shard-aware hook: called as ``on_resolve(request, result)``
         after a (non-shadow) request's ticket resolves. A cluster
@@ -178,6 +214,7 @@ class SpeculationService:
         journal=None,
         obs=None,
         on_resolve=None,
+        journal_admission: bool = False,
     ) -> None:
         if workers < 1:
             raise ServeError(f"need at least one worker, got {workers}")
@@ -198,9 +235,13 @@ class SpeculationService:
         self.journal = journal
         self.obs = obs
         self.on_resolve = on_resolve
+        self.journal_admission = journal_admission and journal is not None
         self._threads: list[threading.Thread] = []
         self._tickets: dict[int, ServeTicket] = {}
         self._tickets_lock = threading.Lock()
+        #: request seq -> journal admit txn seq (journalled admission)
+        self._admit_txns: dict[int, int] = {}
+        self._admit_lock = threading.Lock()
         self._running = False
         self._crashed = False
         self._requests_c = self._latency_h = self._wait_h = self._k_h = None
@@ -314,12 +355,125 @@ class SpeculationService:
         detached (this service will never resolve them — the stealing
         router re-places them under the same ``seq``, which keeps the
         journal block id and hence exactly-once intact).
+
+        The admit ledger line stays **sealed** here: the hand-off is
+        not durable until the thief journals its own admit, and marking
+        it now would leave the request with no durable record anywhere
+        if the thief's admit write tears. The router calls
+        :meth:`confirm_stolen` once the thief's admit is sealed; until
+        then a crash leaves (at worst) two sealed admits, which restore
+        deduplicates as superseded.
         """
         stolen = self.queue.steal(max_n)
         with self._tickets_lock:
             for request in stolen:
                 self._tickets.pop(request.seq, None)
         return stolen
+
+    def confirm_stolen(self, request: ServeRequest) -> None:
+        """Close the admit ledger line of a durably stolen request.
+
+        Called by the router *after* the thief sealed its own admit: a
+        restart here must not re-run the stolen request.
+        """
+        self._settle_admit(request, "stolen")
+
+    @classmethod
+    def restore(
+        cls,
+        journal,
+        budget: WorldBudget | int,
+        build_alternatives=None,
+        gates=(),
+        **kwargs: Any,
+    ) -> tuple["SpeculationService", RestartReport]:
+        """Cold-restart a service from its journal after a process death.
+
+        The journal is the only survivor of a full-process crash; this
+        rebuilds everything else around it:
+
+        1. run :func:`~repro.journal.recovery.recover` with ``admit``
+           and ``block`` txns *deferred* (their apply phase is serving,
+           which only this path can redo);
+        2. build a fresh service (budget/queue/policy from ``kwargs``,
+           ``journal_admission`` forced on) over the same journal;
+        3. bump the process-wide seq counter past every journalled
+           request seq, so the new incarnation never reuses one;
+        4. re-admit every sealed-but-unapplied ``admit`` under its
+           original seq, rebuilding alternatives via
+           ``build_alternatives(spec)``. A re-admitted request whose
+           block win already applied is *replayed* by the per-request
+           supervisor (same winner, byte-identical value), not re-run —
+           idempotent replay of applied commits falls out of the
+           existing block dedup.
+
+        Requests whose ``spec`` is missing (or with no builder) cannot
+        be rebuilt; their admit txns are settled ``unrecoverable`` and
+        listed in ``report.dropped`` rather than retried forever.
+
+        Returns ``(service, report)``; the service is already started
+        and the report carries tickets for the re-admitted requests.
+        """
+        recovery = recover(
+            journal, gates=gates,
+            fault_plan=kwargs.get("fault_plan"),
+            defer_kinds=("admit", "block"),
+        )
+        kwargs.setdefault("journal_admission", True)
+        svc = cls(budget, journal=journal, **kwargs)
+
+        floor = 1
+        for intent, _ in journal.applied_intents("admit"):
+            floor = max(floor, intent["data"]["request"] + 1)
+        for intent, _ in journal.applied_intents("block"):
+            floor = max(floor, intent["data"]["block"] + 1)
+        sealed = journal.sealed_unapplied_intents("admit")
+        for intent in sealed:
+            floor = max(floor, intent["data"]["request"] + 1)
+        ensure_seq_at_least(floor)
+
+        report = RestartReport(
+            recovery=recovery,
+            already_applied=sorted(
+                intent["data"]["request"]
+                for intent, _ in journal.applied_intents("admit")
+            ),
+            seq_floor=floor,
+        )
+        svc.start()
+        for intent in sealed:
+            data = intent["data"]
+            rseq = data["request"]
+            svc._admit_txns[rseq] = intent["seq"]
+            spec = data.get("spec")
+            if build_alternatives is None or spec is None:
+                journal.mark_applied(intent["seq"], status="unrecoverable")
+                svc._admit_txns.pop(rseq, None)
+                report.dropped.append(rseq)
+                continue
+            report.tickets[rseq] = svc.submit(
+                data.get("tenant", "?"),
+                build_alternatives(spec),
+                priority=data.get("priority", 0),
+                cost=data.get("cost", 1.0),
+                timeout=data.get("timeout"),
+                seq=rseq,
+                spec=spec,
+            )
+            report.re_admitted.append(rseq)
+        obs = kwargs.get("obs")
+        if obs is not None:
+            obs.registry.counter(
+                "mw_restores_total", "Cold restarts completed from a journal",
+                labelnames=("layer",),
+            ).inc(layer="service")
+            obs.tracer.instant(
+                "service.restore", cat="serve", track="journal",
+                re_admitted=len(report.re_admitted),
+                already_applied=len(report.already_applied),
+                dropped=len(report.dropped), seq_floor=floor,
+            )
+        return svc, report
 
     def __enter__(self) -> "SpeculationService":
         return self.start()
@@ -339,6 +493,7 @@ class SpeculationService:
         cost: float = 1.0,
         seq: int | None = None,
         deadline_at: float | None = None,
+        spec: Any = None,
     ) -> ServeTicket:
         """Queue one alternative block for ``tenant``; returns a ticket.
 
@@ -356,6 +511,10 @@ class SpeculationService:
         and its original *absolute* deadline rather than getting a fresh
         one. ``deadline_at`` overrides ``deadline_s`` when both are
         given.
+
+        ``spec`` is an opaque picklable description of the request that
+        rides the journalled ``admit`` intent (see ``journal_admission``)
+        so a cold restart can rebuild the alternatives and re-admit.
         """
         if not self._running:
             raise ServiceStopped("service is not running (call start())")
@@ -372,6 +531,7 @@ class SpeculationService:
             deadline_s=deadline_at,
             timeout=timeout,
             cost=cost,
+            spec=spec,
             **extra,
         )
         ticket = ServeTicket(tenant, request.seq)
@@ -384,8 +544,57 @@ class SpeculationService:
                 self._tickets.pop(request.seq, None)
             self._count_status(tenant, "rejected")
             raise
+        # a re-landed request (explicit seq) may already own a sealed
+        # admit txn from a dead incarnation — reuse it, never duplicate
+        self._journal_admit(request, maybe_existing=seq is not None)
         self._maybe_burst(request)
         return ticket
+
+    def _journal_admit(self, request: ServeRequest, maybe_existing: bool) -> None:
+        """Seal an ``admit`` txn for ``request`` (journalled admission).
+
+        The sealed intent is the durable ack: from this point a crash
+        cannot lose the request — :meth:`restore` re-admits it. May
+        raise :class:`~repro.errors.JournalCrash` (injected journal
+        faults), exactly like any other journal write.
+        """
+        if not self.journal_admission or request.shadow:
+            return
+        with self._admit_lock:
+            if request.seq in self._admit_txns:
+                return
+            if maybe_existing:
+                existing = self.journal.find_sealed("admit", request=request.seq)
+                if existing is not None:
+                    self._admit_txns[request.seq] = existing["seq"]
+                    return
+            txn = self.journal.begin(
+                "admit", request=request.seq, tenant=request.tenant,
+                priority=request.priority, cost=request.cost,
+                timeout=request.timeout, spec=request.spec,
+            )
+            self.journal.seal(txn)
+            self._admit_txns[request.seq] = txn
+
+    def _settle_admit(self, request: ServeRequest, status: str) -> None:
+        """Mark the request's admit txn applied with its final status."""
+        if not self.journal_admission or request.shadow:
+            return
+        with self._admit_lock:
+            txn = self._admit_txns.pop(request.seq, None)
+            if txn is None:
+                rec = self.journal.find_sealed("admit", request=request.seq)
+                if rec is None:
+                    return
+                txn = rec["seq"]
+            try:
+                if self.journal.status(txn) == "sealed":
+                    self.journal.mark_applied(txn, status=status)
+            except JournalCrash:
+                # a dead (poisoned) journal cannot settle; the sealed
+                # admit is exactly what restore() replays after the
+                # crash, so losing the settle loses nothing
+                pass
 
     def _maybe_burst(self, request: ServeRequest) -> None:
         """REQUEST_BURST: re-submit the request as a storm of shadows."""
@@ -424,6 +633,9 @@ class SpeculationService:
             return
         if self._crashed:
             return  # a crashed shard reports nothing; the journal speaks
+        # settle the admit ledger before acking: an acked result is
+        # always at least as durable as what the journal says
+        self._settle_admit(request, result.status)
         with self._tickets_lock:
             ticket = self._tickets.pop(request.seq, None)
         if ticket is not None:
