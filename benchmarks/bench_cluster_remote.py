@@ -1,0 +1,329 @@
+"""Out-of-process shards: RPC overhead, ship-vs-fork throughput, kill fuzz.
+
+Four experiments over :mod:`repro.cluster.remote`:
+
+- **RPC overhead** — p50/p95 of a framed heartbeat round-trip to a live
+  shard-host process over its Unix socket (connect once, then measure).
+  This is the per-call tax every remote submit/steal pays on top of the
+  in-process path;
+- **ship vs fork** — the same tenant burst against an in-process
+  2-shard router and a 2-shard router of real shard-host processes.
+  Both must commit everything exactly-once; the throughput ratio prices
+  what process isolation costs when nothing fails;
+- **kill phase** — a 4-host remote burst with one host SIGKILLed
+  mid-burst (a real ``kill -9``: no drain, no goodbye, only its journal
+  file survives) and taken over. Every request still commits, and
+  kill-phase throughput holds ≥ 70% of the healthy remote run;
+- **kill fuzz** — seeded ``transport``-site decisions pick which hosts
+  die and when (up to 2 of 3, ``host_kill_fraction`` placing the kill).
+  After each run the cross-journal audit proves exactly-once commits
+  across the surviving + replayed journal files.
+
+``--quick`` shrinks bursts and seed count for CI smoke.
+"""
+
+import functools
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+
+from _harness import metric, report, report_json, table
+from repro.cluster import (
+    ClusterRouter,
+    ClusterShard,
+    RemoteShardClient,
+    host_kill_decision,
+)
+from repro.faults.plan import FaultKind, FaultPlan
+
+TENANTS = 16
+SLOTS = 2
+WORKERS = 4
+
+PINGS = {"full": 300, "quick": 80}
+BURST = {"full": 48, "quick": 16}
+KILL_BURST = {"full": 40, "quick": 16}
+FUZZ_SEEDS = {"full": 25, "quick": 5}
+FUZZ_BURST = {"full": 16, "quick": 12}
+
+WORK_S = 0.004
+
+HEADERS = ("phase", "shards", "offered", "committed", "failover", "thru_rps")
+
+
+def val(ws, i=0):
+    # module-level so it pickles across the process boundary
+    time.sleep(WORK_S)
+    return i * 7
+
+
+def make_alts(i):
+    return [functools.partial(val, i=i)]
+
+
+class _Fleet:
+    """A set of remote shard hosts with a shared scratch dir."""
+
+    def __init__(self, n_shards, label, **kwargs):
+        self.dir = tempfile.mkdtemp(prefix=f"mw-bench-{label}-")
+        self.shards = [
+            RemoteShardClient(
+                sid,
+                workdir=f"{self.dir}/shard{sid}",
+                slots=SLOTS, workers=WORKERS,
+                **kwargs,
+            )
+            for sid in range(n_shards)
+        ]
+
+    def cleanup(self):
+        for s in self.shards:
+            if s.process_alive():
+                s.sigkill()
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+def run_burst(router, n_requests, kill=None, remotes=None):
+    """Submit a burst; ``kill`` maps shard_id → request index at which
+    that shard's host is SIGKILLed (remote) or crashed (local)."""
+    kill = dict(kill or {})
+
+    def execute(sid):
+        if remotes is not None:
+            remotes[sid].sigkill()
+        else:
+            router.kill_shard(sid)
+        router.takeover(sid)
+
+    tickets = []
+    start = time.monotonic()
+    for i in range(n_requests):
+        for sid, at in list(kill.items()):
+            if i == at:
+                execute(sid)
+                del kill[sid]
+        tickets.append(router.submit(f"tenant-{i % TENANTS}", make_alts(i)))
+    for sid in kill:
+        execute(sid)
+    results = [t.result(timeout=60.0) for t in tickets]
+    wall_s = time.monotonic() - start
+    return results, wall_s
+
+
+def check_burst(results, label):
+    committed = [r for r in results if r.committed]
+    assert len(committed) == len(results), (
+        f"{label}: {len(results) - len(committed)} requests did not commit: "
+        + str([(r.status, r.reason) for r in results if not r.committed][:5])
+    )
+    for i, r in enumerate(results):
+        assert r.value == i * 7, f"{label}: request {i} returned {r.value!r}"
+
+
+def audit(router, results, label):
+    counts = router.audit_applied()
+    violations = sum(
+        1 for r in results if r.committed and counts.get(r.seq, 0) != 1
+    )
+    assert violations == 0, (
+        f"{label}: {violations} requests violated exactly-once"
+    )
+    return violations
+
+
+def rpc_overhead(n_pings):
+    """Round-trip latency of a framed ping over the Unix socket."""
+    fleet = _Fleet(1, "ping")
+    try:
+        shard = fleet.shards[0].start()
+        for _ in range(10):  # warm the connection + host
+            shard.answers_heartbeat()
+        samples = []
+        for _ in range(n_pings):
+            t0 = time.monotonic()
+            ok = shard.answers_heartbeat()
+            samples.append(time.monotonic() - t0)
+            assert ok
+        shard.stop()
+    finally:
+        fleet.cleanup()
+    samples.sort()
+    return {
+        "p50_ms": statistics.median(samples) * 1e3,
+        "p95_ms": samples[int(len(samples) * 0.95)] * 1e3,
+    }
+
+
+def ship_vs_fork(n_requests):
+    """Same burst, in-process shards vs real shard-host processes."""
+    local = ClusterRouter(
+        [ClusterShard(sid, slots=SLOTS, workers=WORKERS) for sid in range(2)]
+    ).start(detect=False)
+    try:
+        results, wall_s = run_burst(local, n_requests)
+        check_burst(results, "local")
+        audit(local, results, "local")
+        local_thru = len(results) / wall_s
+    finally:
+        local.stop()
+
+    fleet = _Fleet(2, "ship")
+    router = ClusterRouter(fleet.shards).start(detect=False)
+    try:
+        results, wall_s = run_burst(router, n_requests)
+        check_burst(results, "remote")
+        audit(router, results, "remote")
+        remote_thru = len(results) / wall_s
+    finally:
+        router.stop()
+        fleet.cleanup()
+    rows = [
+        ("local", 2, n_requests, n_requests, 0, local_thru),
+        ("remote", 2, n_requests, n_requests, 0, remote_thru),
+    ]
+    return rows, local_thru, remote_thru
+
+
+def kill_phase(n_requests):
+    """Healthy 4-host remote burst, then the same burst with one host
+    SIGKILLed halfway; recovery = kill thru / healthy thru."""
+    fleet = _Fleet(4, "healthy")
+    router = ClusterRouter(fleet.shards).start(detect=False)
+    try:
+        results, wall_s = run_burst(router, n_requests)
+        check_burst(results, "remote-healthy")
+        audit(router, results, "remote-healthy")
+        healthy_thru = len(results) / wall_s
+    finally:
+        router.stop()
+        fleet.cleanup()
+
+    fleet = _Fleet(4, "kill")
+    router = ClusterRouter(fleet.shards).start(detect=False)
+    try:
+        victim = router.ring.route("tenant-0")
+        results, wall_s = run_burst(
+            router, n_requests,
+            kill={victim: n_requests // 2}, remotes=fleet.shards,
+        )
+        check_burst(results, "remote-kill")
+        audit(router, results, "remote-kill")
+        moved = sum(1 for r in results if r.failover)
+        kill_thru = len(results) / wall_s
+    finally:
+        router.stop()
+        fleet.cleanup()
+    rows = [
+        ("healthy", 4, n_requests, n_requests, 0, healthy_thru),
+        ("sigkill", 4, n_requests, n_requests, moved, kill_thru),
+    ]
+    return rows, kill_thru / healthy_thru, moved
+
+
+def kill_fuzz(n_seeds, n_requests):
+    """Seeded mid-burst host SIGKILLs; returns exactly-once violations."""
+    violations = 0
+    kills = 0
+    for seed in range(1, n_seeds + 1):
+        plan = FaultPlan(
+            seed=seed,
+            rates={FaultKind.HOST_SIGKILL: 0.6},
+            host_kill_fraction=0.5,
+        )
+        fleet = _Fleet(3, f"fuzz{seed}", call_timeout_s=0.4,
+                       breaker_threshold=2, breaker_cooldown_s=0.2)
+        router = ClusterRouter(fleet.shards).start(detect=False)
+        try:
+            doomed = [
+                (sid, host_kill_decision(plan, sid, epoch=0))
+                for sid in range(3)
+                if host_kill_decision(plan, sid, epoch=0) is not None
+            ][:2]  # keep one survivor
+            schedule = {sid: int(frac * n_requests) for sid, frac in doomed}
+            kills += len(schedule)
+            results, _ = run_burst(
+                router, n_requests, kill=schedule, remotes=fleet.shards
+            )
+            check_burst(results, f"fuzz[{seed}]")
+            violations += audit(router, results, f"fuzz[{seed}]")
+        finally:
+            router.stop()
+            fleet.cleanup()
+    return violations, kills
+
+
+def sweep(mode):
+    ping = rpc_overhead(PINGS[mode])
+    ship_rows, local_thru, remote_thru = ship_vs_fork(BURST[mode])
+    kill_rows, recovery, moved = kill_phase(KILL_BURST[mode])
+    violations, kills = kill_fuzz(FUZZ_SEEDS[mode], FUZZ_BURST[mode])
+    return {
+        "rows": ship_rows + kill_rows,
+        "ping": ping,
+        "local_thru": local_thru,
+        "remote_thru": remote_thru,
+        "recovery": recovery,
+        "failover_requests": moved,
+        "fuzz_violations": violations,
+        "fuzz_kills": kills,
+        "fuzz_seeds": FUZZ_SEEDS[mode],
+    }
+
+
+def _check(out):
+    assert out["ping"]["p50_ms"] < 100.0, (
+        f"RPC round-trip p50 {out['ping']['p50_ms']:.2f}ms is implausibly "
+        "slow for a local Unix socket"
+    )
+    assert out["remote_thru"] > 0 and out["local_thru"] > 0
+    assert out["recovery"] >= 0.70, (
+        f"SIGKILL-phase throughput recovered only {out['recovery']:.0%} "
+        "of the healthy remote run (floor: 70%)"
+    )
+    assert out["fuzz_violations"] == 0, "kill fuzz: exactly-once violated"
+    assert out["fuzz_kills"] > 0, "kill fuzz never killed a host"
+
+
+def _metrics(out):
+    return [
+        metric("remote_rpc_p50", out["ping"]["p50_ms"], "ms"),
+        metric("remote_rpc_p95", out["ping"]["p95_ms"], "ms"),
+        metric("remote_thru_2shard", out["remote_thru"], "req/s"),
+        metric("local_thru_2shard", out["local_thru"], "req/s"),
+        metric("remote_vs_local_thru",
+               out["remote_thru"] / out["local_thru"], "ratio"),
+        metric("remote_kill_recovery", out["recovery"], "ratio"),
+        metric("remote_kill_failover_requests",
+               float(out["failover_requests"]), "count"),
+        metric("remote_fuzz_seeds", float(out["fuzz_seeds"]), "count"),
+        metric("remote_fuzz_host_kills", float(out["fuzz_kills"]), "count"),
+        metric("remote_exactly_once_violations",
+               float(out["fuzz_violations"]), "count"),
+    ]
+
+
+def _render(out):
+    lines = [
+        table(HEADERS, out["rows"], fmt="8.2f"),
+        f"rpc round-trip: p50 {out['ping']['p50_ms']:.3f}ms "
+        f"p95 {out['ping']['p95_ms']:.3f}ms",
+    ]
+    return "\n".join(lines)
+
+
+def test_cluster_remote(benchmark):
+    out = benchmark.pedantic(sweep, args=("quick",), iterations=1, rounds=1)
+    report("cluster_remote", _render(out))
+    report_json("cluster_remote", _metrics(out))
+    _check(out)
+
+
+if __name__ == "__main__":
+    mode = "quick" if "--quick" in sys.argv[1:] else "full"
+    out = sweep(mode)
+    print(_render(out))
+    report_json("cluster_remote", _metrics(out))
+    _check(out)
+    print("ok")

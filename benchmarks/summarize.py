@@ -78,6 +78,7 @@ SECTIONS = [
             ("chaos_soak", "Chaos soak — cross-layer fault schedule"),
             ("serve_throughput", "Speculation service — load sweep"),
             ("cluster_scale", "Cluster — scale-out and shard-kill recovery"),
+            ("cluster_remote", "Cluster — out-of-process shards and host kills"),
         ],
     ),
     (

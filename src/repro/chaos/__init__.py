@@ -27,7 +27,9 @@ from repro.chaos.soak import (
     SoakReport,
     Violation,
     build_alternatives,
+    build_remote_alternatives,
     expected_value,
+    run_remote_incarnation,
     run_soak,
 )
 
@@ -37,6 +39,8 @@ __all__ = [
     "SoakReport",
     "Violation",
     "build_alternatives",
+    "build_remote_alternatives",
     "expected_value",
+    "run_remote_incarnation",
     "run_soak",
 ]

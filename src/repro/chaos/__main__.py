@@ -38,6 +38,8 @@ def _write_bench_results(out_dir, seed_lines, summary, reports, *,
                 "requests"),
         _metric("soak_cold_restarts", sum(r.restarts for r in reports),
                 "restarts"),
+        _metric("soak_remote_host_kills",
+                sum(r.remote_kills for r in reports), "kills"),
         _metric("soak_quarantines", sum(r.quarantines for r in reports),
                 "records"),
         _metric("soak_compactions", sum(r.compactions for r in reports),
@@ -68,6 +70,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shards", type=int, default=None)
     parser.add_argument("--storage-dir", default=None,
                         help="file-backed journals under this directory")
+    parser.add_argument("--remote-kills", type=int, default=None,
+                        help="real-process kill incarnations per seed: "
+                             "shard hosts SIGKILLed mid-burst, then the "
+                             "cross-journal exactly-once audit (default 1)")
     parser.add_argument("--artifacts", default=None,
                         help="dump journals + reports of failing seeds here")
     parser.add_argument("--json", dest="json_path", default=None,
@@ -99,6 +105,9 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["shards"] = args.shards
         if args.storage_dir is not None:
             kwargs["storage_dir"] = f"{args.storage_dir}/seed-{seed}"
+        kwargs["remote_kills"] = (
+            args.remote_kills if args.remote_kills is not None else 1
+        )
         report = run_soak(SoakConfig(**kwargs))
         reports.append(report)
         mark = "ok " if report.ok else "FAIL"
@@ -106,6 +115,7 @@ def main(argv: list[str] | None = None) -> int:
             f"[{mark}] seed {seed:3d}  acked {report.acked:3d}  "
             f"committed {report.committed:3d}  restarts {report.restarts:2d}  "
             f"shard-crashes {report.shard_crashes:2d}  "
+            f"host-kills {report.remote_kills}  "
             f"compactions {report.compactions}  "
             f"quarantines {report.quarantines}  "
             f"violations {len(report.violations)}"

@@ -40,14 +40,22 @@ noise.
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import random
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.cluster import ClusterRouter, ClusterShard
+from repro.cluster import (
+    ClusterRouter,
+    ClusterShard,
+    RemoteShardClient,
+    host_kill_decision,
+)
 from repro.errors import (
     AdmissionRejected,
     ClusterError,
@@ -124,6 +132,21 @@ def build_alternatives(spec: dict) -> list:
     return [fast, steady]
 
 
+def remote_value(ws, n: int = 0) -> int:
+    """Picklable alternative for out-of-process incarnations.
+
+    Remote shard hosts receive their alternatives over the RPC wire, so
+    unlike :func:`build_alternatives`'s closures these must be a
+    module-level function bound with :func:`functools.partial`.
+    """
+    time.sleep(0.002)
+    return expected_value(n)
+
+
+def build_remote_alternatives(spec: dict) -> list:
+    return [functools.partial(remote_value, n=spec["n"])]
+
+
 @dataclass(frozen=True)
 class Violation:
     """One invariant breach observed by the soak."""
@@ -159,6 +182,10 @@ class SoakConfig:
     storage_dir: str | None = None
     #: dump journals + report here when the run ends with violations
     artifact_dir: str | None = None
+    #: after the in-process lifetime, run this many *real-process* kill
+    #: incarnations: shard-host processes SIGKILLed mid-burst, takeover,
+    #: cross-journal exactly-once audit (0 disables)
+    remote_kills: int = 0
 
 
 @dataclass
@@ -174,6 +201,7 @@ class SoakReport:
     replayed: int = 0
     restarts: int = 0
     shard_crashes: int = 0
+    remote_kills: int = 0
     compactions: int = 0
     compaction_crashes: int = 0
     quarantines: int = 0
@@ -619,6 +647,102 @@ def _dump_artifacts(soak: _Soak) -> None:
                 )
 
 
+def run_remote_incarnation(
+    seed: int,
+    *,
+    shards: int = 3,
+    requests: int = 12,
+    workdir: str | None = None,
+) -> tuple[list[Violation], int]:
+    """One real-process kill incarnation: SIGKILL shard hosts mid-burst.
+
+    The in-process soak kills shards by dropping their objects; here the
+    shard is an OS process and the kill is a literal ``SIGKILL`` — no
+    drain, no goodbye, only its journal file survives. The fault plan's
+    ``transport`` site decides which hosts die and where in the burst
+    (one survivor always kept); after takeover every request must still
+    commit its deterministic value, and the cross-journal audit must
+    show exactly one applied ``block`` txn per commit.
+
+    Returns ``(violations, hosts_killed)`` so :func:`run_soak` can merge
+    the outcome into its report.
+    """
+    violations: list[Violation] = []
+    plan = FaultPlan(
+        seed=seed,
+        rates={FaultKind.HOST_SIGKILL: 0.6},
+        host_kill_fraction=0.5,
+    )
+    scratch = workdir or tempfile.mkdtemp(prefix=f"mw-soak-remote-{seed}-")
+    remotes = [
+        RemoteShardClient(
+            sid,
+            workdir=os.path.join(scratch, f"shard{sid}"),
+            slots=2, workers=2, call_timeout_s=0.4,
+            breaker_threshold=2, breaker_cooldown_s=0.2,
+        )
+        for sid in range(shards)
+    ]
+    router = ClusterRouter(remotes).start(detect=False)
+    kills = 0
+    try:
+        doomed = [
+            (sid, host_kill_decision(plan, sid, epoch=0))
+            for sid in range(shards)
+            if host_kill_decision(plan, sid, epoch=0) is not None
+        ][: shards - 1]  # keep one survivor
+        schedule = {sid: int(frac * requests) for sid, frac in doomed}
+        tickets = []
+        for i in range(requests):
+            for sid, at in list(schedule.items()):
+                if i == at:
+                    remotes[sid].sigkill()
+                    router.takeover(sid)
+                    kills += 1
+                    del schedule[sid]
+            tickets.append(
+                router.submit(
+                    f"tenant-{i % 3}", build_remote_alternatives({"n": i})
+                )
+            )
+        for sid in schedule:
+            remotes[sid].sigkill()
+            router.takeover(sid)
+            kills += 1
+        results = [t.result(timeout=30.0) for t in tickets]
+        for i, res in enumerate(results):
+            if not res.committed:
+                violations.append(Violation(
+                    kind="remote-lost-ack",
+                    episode=-1,
+                    detail=f"seed {seed}: request {i} ended "
+                           f"{res.status}/{res.reason} after host SIGKILL",
+                ))
+            elif res.value != expected_value(i):
+                violations.append(Violation(
+                    kind="remote-value-drift",
+                    episode=-1,
+                    detail=f"seed {seed}: request {i} committed "
+                           f"{res.value!r}, expected {expected_value(i)}",
+                ))
+        audit = router.audit_applied()
+        for res in results:
+            if res.committed and audit.get(res.seq, 0) != 1:
+                violations.append(Violation(
+                    kind="remote-exactly-once",
+                    episode=-1,
+                    detail=f"seed {seed}: request {res.seq} has "
+                           f"{audit.get(res.seq, 0)} applied block txns "
+                           "across the host journals",
+                ))
+    finally:
+        router.stop()
+        if not violations:
+            # keep the host journals for post-mortem only on failure
+            shutil.rmtree(scratch, ignore_errors=True)
+    return violations, kills
+
+
 def run_soak(config: SoakConfig | None = None, **kwargs: Any) -> SoakReport:
     """Run one seeded chaos-soak lifetime; returns its :class:`SoakReport`.
 
@@ -631,7 +755,20 @@ def run_soak(config: SoakConfig | None = None, **kwargs: Any) -> SoakReport:
         for episode in range(cfg.episodes):
             soak.episode = episode
             soak.run_episode()
-        return soak.finish()
+        report = soak.finish()
+        for k in range(cfg.remote_kills):
+            # real-process coda: same seed family, hosts die by SIGKILL
+            workdir = (
+                os.path.join(cfg.artifact_dir, f"seed-{cfg.seed}",
+                             f"remote-{k}")
+                if cfg.artifact_dir else None
+            )
+            violations, kills = run_remote_incarnation(
+                cfg.seed * 101 + k, workdir=workdir,
+            )
+            report.violations.extend(violations)
+            report.remote_kills += kills
+        return report
     except _RestartStorm:
         soak.report.episodes = soak.episode
         if cfg.artifact_dir:

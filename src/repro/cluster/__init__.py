@@ -18,12 +18,26 @@
   journal block id — when it did not. Every admitted request commits
   exactly once; :meth:`ClusterRouter.audit_applied` proves it.
 
+Shards need not share the router's process:
+:class:`~repro.cluster.remote.RemoteShardClient` runs one behind a
+framed RPC socket (:mod:`repro.cluster.wire`) in its own OS process —
+the router is transport-polymorphic, so local and remote shards mix in
+one ring, and "shard death" can be a literal ``kill -9``.
+
 Fault injection rides the existing planes: the plan's ``heartbeat`` /
 ``partition`` sites plus the ``cluster`` site
 (:data:`~repro.faults.plan.CLUSTER_SITE`: shard-crash-mid-burst,
-partitioned router, stale takeover).
+partitioned router, stale takeover) and the ``transport`` site
+(:data:`~repro.faults.plan.TRANSPORT_SITE`: torn frames, socket stalls,
+SIGSTOP'd and SIGKILL'd hosts, refused connects).
 """
 
+from repro.cluster.remote import (
+    CircuitBreaker,
+    RemoteShardClient,
+    host_kill_decision,
+    shard_host_main,
+)
 from repro.cluster.ring import HashRing
 from repro.cluster.router import (
     ClusterResult,
@@ -33,8 +47,10 @@ from repro.cluster.router import (
     PARTITION_WINDOW_BEATS,
 )
 from repro.cluster.shard import ClusterShard, ShardState
+from repro.cluster.wire import pack_frame, recv_frame, send_frame, unpack_frame
 
 __all__ = [
+    "CircuitBreaker",
     "ClusterResult",
     "ClusterRestartReport",
     "ClusterRouter",
@@ -42,5 +58,12 @@ __all__ = [
     "ClusterTicket",
     "HashRing",
     "PARTITION_WINDOW_BEATS",
+    "RemoteShardClient",
     "ShardState",
+    "host_kill_decision",
+    "pack_frame",
+    "recv_frame",
+    "send_frame",
+    "shard_host_main",
+    "unpack_frame",
 ]

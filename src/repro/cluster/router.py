@@ -64,6 +64,7 @@ from repro.errors import (
     JournalCrash,
     NoSurvivingShard,
     ServiceStopped,
+    ShardUnreachable,
 )
 from repro.faults.plan import CLUSTER_SITE, FaultKind
 from repro.journal import find_block_win
@@ -239,6 +240,7 @@ class ClusterRouter:
         steal_batch: int = 2,
         fault_plan=None,
         obs=None,
+        spare_factory=None,
     ) -> None:
         if not shards:
             raise ClusterError("a cluster needs at least one shard")
@@ -255,6 +257,14 @@ class ClusterRouter:
         self.steal_batch = steal_batch
         self.fault_plan = fault_plan
         self.obs = obs
+        #: zero-arg callable returning a fresh (unstarted) in-process
+        #: shard — the cluster-level degradation ladder: when a takeover
+        #: re-land finds *no* surviving candidate (e.g. every remote
+        #: shard unreachable), the router adopts one local spare and
+        #: retries, mirroring the fork → thread → sequential backend
+        #: fallback one level up
+        self.spare_factory = spare_factory
+        self._spare: ClusterShard | None = None
         self.ring = HashRing(vnodes=vnodes)
         self._shards: dict[int, ClusterShard] = {}
         self._retired: list[ClusterShard] = []
@@ -340,6 +350,26 @@ class ClusterRouter:
             raise ClusterError(f"shard {shard.shard_id} is already a member")
         self._adopt(shard)
 
+    def _ensure_spare(self) -> ClusterShard | None:
+        """Adopt the in-process spare shard, once (see ``spare_factory``)."""
+        if self.spare_factory is None:
+            return None
+        with self._lock:
+            spare = self._spare
+        if spare is not None:
+            return spare if spare.alive else None
+        spare = self.spare_factory()
+        if spare is None:
+            return None
+        with self._lock:
+            if spare.shard_id in self._shards:
+                return self._shards[spare.shard_id]
+            self._spare = spare
+        spare.start()
+        self._adopt(spare)
+        self._count(self._takeover_c, kind="spare-adopted")
+        return spare
+
     @property
     def shards_up(self) -> int:
         return sum(1 for s in self._shards.values() if s.up)
@@ -373,14 +403,32 @@ class ClusterRouter:
             self._detector.start()
         return self
 
+    def _join_detector(self, timeout: float = 5.0) -> None:
+        """Reap the detector thread; raise if it refuses to die.
+
+        ``stop()``/``close()`` must never leak a dangling detector: a
+        thread still pinging shards after shutdown keeps sockets (and
+        whole shard-host processes) alive. The loop re-checks
+        ``_running`` every ``detect_interval_s``, so a healthy detector
+        always exits well inside the timeout.
+        """
+        detector, self._detector = self._detector, None
+        if detector is None:
+            return
+        detector.join(timeout)
+        if detector.is_alive():  # pragma: no cover - requires a hung beat
+            self._detector = detector
+            raise ClusterError(
+                f"detector thread failed to stop within {timeout}s"
+            )
+
     def stop(self) -> None:
         """Stop the detector and gracefully stop every member shard."""
         if not self._running:
+            self._join_detector()
             return
         self._running = False
-        if self._detector is not None:
-            self._detector.join(5.0)
-            self._detector = None
+        self._join_detector()
         for shard in list(self._shards.values()):
             if shard.alive:
                 shard.service.stop()
@@ -398,6 +446,14 @@ class ClusterRouter:
                 ),
             )
 
+    def close(self) -> None:
+        """Alias for :meth:`stop` — the resource-style spelling.
+
+        Guaranteed (like ``stop``) to leave no dangling detector
+        thread: both paths funnel through :meth:`_join_detector`.
+        """
+        self.stop()
+
     def crash(self) -> None:
         """Kill the whole cluster's process-state: the full-process death.
 
@@ -408,9 +464,7 @@ class ClusterRouter:
         shard journals alone.
         """
         self._running = False
-        if self._detector is not None:
-            self._detector.join(5.0)
-            self._detector = None
+        self._join_detector()
         for shard in list(self._shards.values()) + list(self._retired):
             if shard.alive:
                 shard.crash()
@@ -682,7 +736,11 @@ class ClusterRouter:
                     timeout=rec.timeout, cost=rec.cost, seq=seq,
                     spec=rec.spec,
                 )
-            except (AdmissionRejected, ServiceStopped) as exc:
+            except (AdmissionRejected, ServiceStopped, ShardUnreachable) as exc:
+                # ShardUnreachable — a remote shard's transport gave up
+                # (retries exhausted or breaker open) — walks on exactly
+                # like a stopped service; the detector independently
+                # escalates the silent shard toward takeover
                 if isinstance(exc, AdmissionRejected):
                     last_rejection = exc
                 exclude.add(target.shard_id)
@@ -873,7 +931,10 @@ class ClusterRouter:
             if shard.state is ShardState.DRAINING:
                 continue
             lease = shard.lease
-            answering = shard.alive and shard.state is not ShardState.FENCED
+            # one real beat: local shards answer by state, remote shards
+            # by an actual ping RPC (whose failure also feeds their
+            # circuit breaker, so a silent host fails fast next beat)
+            answering = shard.answers_heartbeat()
             partitioned = self._router_partitioned(shard.shard_id, self._beat) or (
                 plan is not None and plan.link_down(shard.shard_id, now)
             )
@@ -952,7 +1013,11 @@ class ClusterRouter:
             return 0
         target = idle[0]
         moved = 0
-        for request in busy.service.steal_requests(self.steal_batch):
+        try:
+            stolen = busy.service.steal_requests(self.steal_batch)
+        except ShardUnreachable:
+            return 0  # busy shard went silent; the detector handles it
+        for request in stolen:
             with self._lock:
                 rec = self._inflight.get(request.seq)
             if rec is None:
@@ -965,7 +1030,10 @@ class ClusterRouter:
                     timeout=rec.timeout, cost=rec.cost, seq=request.seq,
                     spec=rec.spec,
                 )
-            except (AdmissionRejected, ServiceStopped, JournalCrash) as refusal:
+            except (
+                AdmissionRejected, ServiceStopped, ShardUnreachable,
+                JournalCrash,
+            ) as refusal:
                 if isinstance(refusal, JournalCrash):
                     # the thief's journal died taking the admit: the
                     # thief is a dead process, and the stolen request
@@ -975,7 +1043,10 @@ class ClusterRouter:
                     if win is not None:
                         # the value is durable on the thief's journal:
                         # the source's sealed admit can close now
-                        busy.service.confirm_stolen(request)
+                        try:
+                            busy.service.confirm_stolen(request)
+                        except ShardUnreachable:
+                            pass  # source silent; takeover settles its admit
                         self._settle_replayed(
                             request.seq, rec, target.shard_id, win
                         )
@@ -1002,7 +1073,14 @@ class ClusterRouter:
             # durable, so only now may the source close its ledger line
             # (the reverse order would lose the request if the thief's
             # admit write tore — no durable admit anywhere)
-            busy.service.confirm_stolen(request)
+            try:
+                busy.service.confirm_stolen(request)
+            except ShardUnreachable:
+                # the source went silent *after* the hand-off became
+                # durable on the thief: exactly-once still holds (only
+                # the thief runs the block) and the source's unresolved
+                # admit is settled by its eventual takeover
+                pass
             with self._lock:
                 rec.shard_id = target.shard_id
             self._grant_request_lease(request.seq, rec, target)
@@ -1137,8 +1215,19 @@ class ClusterRouter:
             # never applied anywhere: re-land on the next preference
             rec.attempts += 1
             rec.failover = "relanded"
+            mode = "relanded"
             try:
-                self._place(seq, rec, exclude={shard_id})
+                try:
+                    self._place(seq, rec, exclude={shard_id})
+                except NoSurvivingShard:
+                    # remote → local degradation: every candidate is
+                    # gone (e.g. the whole remote fleet is unreachable),
+                    # so adopt an in-process spare and retry once — the
+                    # cluster-level rung of fork → thread → sequential
+                    if self._ensure_spare() is None:
+                        raise
+                    self._place(seq, rec, exclude={shard_id})
+                    mode = "spare"
             except (AdmissionRejected, NoSurvivingShard) as exc:
                 failed += 1
                 with self._lock:
@@ -1155,7 +1244,7 @@ class ClusterRouter:
                 )
                 continue
             relanded += 1
-            self._count(self._failover_c, mode="relanded")
+            self._count(self._failover_c, mode=mode)
             self._finish_orphan_lease(
                 rec, relanded_to=self._shards.get(rec.shard_id)
             )

@@ -25,7 +25,7 @@ import enum
 import threading
 
 from repro.errors import ClusterError
-from repro.journal import CommitJournal, MemoryJournalStorage
+from repro.journal import CommitJournal, FileJournalStorage, MemoryJournalStorage
 from repro.serve.admission import AdmissionQueue
 from repro.serve.budget import WorldBudget
 from repro.serve.policy import AdaptiveSpeculationPolicy
@@ -57,7 +57,11 @@ class ClusterShard:
         shard (stats are shard-local state and die with the shard).
     journal:
         The shard's own :class:`CommitJournal` (default: in-memory
-        storage). The one thing that survives :meth:`crash`.
+        storage). The one thing that survives :meth:`crash`. A plain
+        ``str`` is taken as a filesystem path and opened as
+        :class:`~repro.journal.FileJournalStorage` — the form a
+        shard-host child process uses, where the journal must survive
+        ``kill -9`` of the whole process.
     fault_plan / obs:
         The shared robustness planes. Note metrics are cluster-shared:
         shard-distinct series carry a ``shard`` label.
@@ -75,7 +79,7 @@ class ClusterShard:
         workers: int = 4,
         backend: str = "thread",
         policy=None,
-        journal: CommitJournal | None = None,
+        journal: CommitJournal | str | None = None,
         queue_depth: int | None = None,
         fault_plan=None,
         obs=None,
@@ -85,6 +89,8 @@ class ClusterShard:
         if shard_id < 0:
             raise ClusterError(f"shard_id must be non-negative, got {shard_id}")
         self.shard_id = shard_id
+        if isinstance(journal, str):
+            journal = CommitJournal(storage=FileJournalStorage(journal))
         self.journal = journal if journal is not None else CommitJournal(
             storage=MemoryJournalStorage()
         )
@@ -121,6 +127,18 @@ class ClusterShard:
     def alive(self) -> bool:
         """Whether the *process* is alive (a FENCED shard still is)."""
         return self.state not in (ShardState.DEAD,)
+
+    def answers_heartbeat(self) -> bool:
+        """One failure-detector beat: would this shard answer right now?
+
+        In-process shards answer by construction whenever the process
+        abstraction says they are alive and not fenced; the remote
+        transport (:class:`~repro.cluster.remote.RemoteShardClient`)
+        overrides this with a real ping over its socket. The router's
+        detector calls only this, which is what lets the two transports
+        share one suspect → probe → declare-dead machine.
+        """
+        return self.alive and self.state is not ShardState.FENCED
 
     def backlog(self) -> int:
         return len(self.queue)

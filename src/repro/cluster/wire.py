@@ -1,0 +1,134 @@
+"""Framed RPC wire protocol for out-of-process shards.
+
+The shard transport needs exactly what the checkpoint wire
+(:mod:`repro.runtime.checkpoint`, ``MWCKPT2``) and the journal
+(``MWJRNL1``) already settled on: a length-prefixed frame whose CRC32 is
+verified **before** the payload is unpickled. A stream socket gives no
+message boundaries and no integrity — this module supplies both:
+
+``MAGIC + <II>(body_len, crc32) + pickle(body)``
+
+per frame. Unlike the journal (an append-only file scanned once at
+open), a socket frame that fails validation poisons the *stream*: a
+torn length header makes every later byte unframeable, so the receiver
+raises :class:`~repro.errors.WireCorrupt`, the connection is reset, and
+the sender retries over a fresh connect — the same discipline TCP
+applications use, made explicit.
+
+Frames carry plain picklable envelopes (dicts). The RPC semantics —
+request ids, idempotency tokens, retry/backoff, pushes — live one layer
+up in :mod:`repro.cluster.remote`; this module only moves validated
+frames.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import WireCorrupt
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "pack_frame",
+    "recv_frame",
+    "send_frame",
+    "unpack_frame",
+]
+
+MAGIC = b"MWRPC01\n"
+_HEADER = struct.Struct("<II")  # (body_len, crc32) — the MWJRNL1 pair
+
+#: Upper bound on one frame's pickled body. Checkpoints of world state
+#: ride the submit RPC, so this is generous — but a corrupt length
+#: header must never convince the receiver to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def pack_frame(body: Any) -> bytes:
+    """Serialize ``body`` into one framed, CRC-protected message."""
+    payload = pickle.dumps(body)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireCorrupt(
+            f"frame body of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame bound"
+        )
+    return MAGIC + _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def unpack_frame(blob: bytes) -> Any:
+    """Validate and unpickle one complete frame (the test/debug hook).
+
+    Raises :class:`~repro.errors.WireCorrupt` on any framing damage —
+    wrong magic, truncation, length out of bounds, CRC mismatch — and
+    only unpickles bytes whose checksum matched.
+    """
+    if len(blob) < len(MAGIC) + _HEADER.size:
+        raise WireCorrupt(
+            f"frame truncated: {len(blob)} bytes is shorter than the header"
+        )
+    if blob[: len(MAGIC)] != MAGIC:
+        raise WireCorrupt(f"bad frame magic {blob[:len(MAGIC)]!r}")
+    body_len, crc = _HEADER.unpack_from(blob, len(MAGIC))
+    if body_len > MAX_FRAME_BYTES:
+        raise WireCorrupt(f"frame declares {body_len} bytes (bound exceeded)")
+    payload = blob[len(MAGIC) + _HEADER.size :]
+    if len(payload) != body_len:
+        raise WireCorrupt(
+            f"frame declares {body_len} body bytes but carries {len(payload)}"
+        )
+    got = zlib.crc32(payload)
+    if got != crc:
+        raise WireCorrupt(
+            f"frame CRC mismatch: expected {crc:#010x}, got {got:#010x}"
+        )
+    return pickle.loads(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionResetError(
+                f"peer closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, body: Any) -> None:
+    """Send ``body`` as one frame (atomic from the peer's viewpoint)."""
+    sock.sendall(pack_frame(body))
+
+
+def recv_frame(sock: socket.socket, timeout: float | None = None) -> Any:
+    """Receive and validate one frame.
+
+    ``timeout`` bounds the wait for the *first* byte (socket timeout);
+    raises ``TimeoutError`` past it, ``ConnectionError`` on EOF, and
+    :class:`~repro.errors.WireCorrupt` on framing damage. The CRC is
+    checked before any unpickling, exactly like checkpoint wire v2.
+    """
+    if timeout is not None:
+        sock.settimeout(timeout)
+    header = _recv_exact(sock, len(MAGIC) + _HEADER.size)
+    if header[: len(MAGIC)] != MAGIC:
+        raise WireCorrupt(f"bad frame magic {header[:len(MAGIC)]!r}")
+    body_len, crc = _HEADER.unpack_from(header, len(MAGIC))
+    if body_len > MAX_FRAME_BYTES:
+        raise WireCorrupt(f"frame declares {body_len} bytes (bound exceeded)")
+    payload = _recv_exact(sock, body_len)
+    got = zlib.crc32(payload)
+    if got != crc:
+        raise WireCorrupt(
+            f"frame CRC mismatch: expected {crc:#010x}, got {got:#010x}"
+        )
+    return pickle.loads(payload)

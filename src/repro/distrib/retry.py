@@ -18,6 +18,7 @@ unreliability" separately from nominal transfer time.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -27,13 +28,22 @@ from repro.errors import RetriesExhausted, TransferError
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How hard to try: bounded attempts, exponential backoff, jitter."""
+    """How hard to try: bounded attempts, exponential backoff, jitter.
+
+    ``deadline_s``, when set, caps the loop's *total* elapsed time: no
+    retry is attempted once ``elapsed + next_pause`` would cross it, even
+    with attempts left — whichever bound (attempts or deadline) trips
+    first wins. Elapsed time is measured on the same clock the backoff is
+    charged to: real ``time.monotonic`` without a link, the link's
+    virtual clock with one (so simulated scenarios stay deterministic).
+    """
 
     max_retries: int = 4
     base_backoff_s: float = 0.01
     multiplier: float = 2.0
     max_backoff_s: float = 1.0
     jitter: float = 0.5  # extra backoff fraction in [0, jitter]
+    deadline_s: float | None = None  # total-time cap across all attempts
 
     @property
     def max_attempts(self) -> int:
@@ -81,11 +91,14 @@ def call_with_retries(
     fault key, so each attempt genuinely re-rolls the dice). Failures in
     ``retry_on`` trigger backoff — charged to ``link`` when one is given
     — and a retry; anything else propagates immediately. After the last
-    attempt fails, raises :class:`~repro.errors.RetriesExhausted` chained
-    to the final failure.
+    attempt fails — or once the policy's ``deadline_s`` total-time cap
+    would be crossed by the next backoff — raises
+    :class:`~repro.errors.RetriesExhausted` chained to the final failure.
     """
     stats = RetryStats()
     last: BaseException | None = None
+    why = "attempts"
+    started = time.monotonic()
     for attempt in range(policy.max_attempts):
         stats.attempts = attempt + 1
         try:
@@ -95,13 +108,31 @@ def call_with_retries(
             stats.faults.append(type(exc).__name__)
             if attempt + 1 >= policy.max_attempts:
                 break
-            stats.retries += 1
             pause = policy.backoff_s(attempt + 1, token)
+            if policy.deadline_s is not None:
+                # measure on the clock the backoff is charged to: the
+                # link's virtual clock when simulating, wall time when
+                # real — so deadline-vs-attempts races are deterministic
+                # under a SimulatedLink
+                elapsed = (
+                    stats.backoff_s if link is not None
+                    else time.monotonic() - started
+                )
+                if elapsed + pause > policy.deadline_s:
+                    why = f"deadline ({policy.deadline_s}s)"
+                    break
+            stats.retries += 1
             stats.backoff_s += pause
             if link is not None:
                 link.wait(pause)
+            else:
+                # no simulated link to charge: this is a real transport
+                # (e.g. the shard RPC client), so the backoff must
+                # actually pass before the resend hits the wire
+                time.sleep(pause)
     exhausted = RetriesExhausted(
-        f"{token or 'operation'} failed after {stats.attempts} attempts: {last}",
+        f"{token or 'operation'} failed after {stats.attempts} attempts "
+        f"({why} exhausted): {last}",
         attempts=stats.attempts,
     )
     exhausted.stats = stats  # callers recover the full retry accounting

@@ -205,6 +205,38 @@ class NoSurvivingShard(ClusterError):
     """A request could not be (re-)placed: every candidate shard is down."""
 
 
+class TransportError(ClusterError):
+    """Base class for shard-transport (framed RPC over socket) failures.
+
+    Raised inside one RPC attempt; the client's retry loop treats these
+    (plus raw ``ConnectionError``/``TimeoutError``) as retryable.
+    """
+
+
+class WireCorrupt(TransportError):
+    """A received frame failed its magic/length/CRC validation.
+
+    The connection is considered poisoned past the corrupt frame (a
+    stream cannot resynchronize after a torn length header), so the
+    receiver resets it and the sender retries over a fresh connect.
+    """
+
+
+class TransportTimeout(TransportError):
+    """One RPC attempt got no response within its per-call timeout."""
+
+
+class ShardUnreachable(TransportError):
+    """A remote shard's transport gave up: retries exhausted or the
+    per-shard circuit breaker is open.
+
+    The router treats this exactly like a refusal from a stopped
+    service — walk the placement candidates on — while the heartbeat
+    detector independently escalates the silent shard through
+    suspect → probe → declare-dead.
+    """
+
+
 class PrologError(ReproError):
     """Errors from the mini-Prolog engine."""
 

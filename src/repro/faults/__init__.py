@@ -35,6 +35,7 @@ from repro.faults.plan import (
     SITE_KINDS,
     SNAPSHOT_SITE,
     SPAWN_SITE,
+    TRANSPORT_SITE,
     FaultDecision,
     FaultKind,
     FaultPlan,
@@ -58,6 +59,7 @@ __all__ = [
     "SITE_KINDS",
     "SNAPSHOT_SITE",
     "SPAWN_SITE",
+    "TRANSPORT_SITE",
     "FaultDecision",
     "FaultKind",
     "FaultPlan",

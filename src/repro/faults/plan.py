@@ -149,6 +149,24 @@ class FaultKind(str, enum.Enum):
     #: chaos: the whole service/cluster process-state dies at this step
     #: and must be rebuilt from the journals alone (cold restart)
     COLD_RESTART = "cold-restart"
+    #: transport: the RPC request frame is corrupted in flight; the
+    #: receiver's CRC check fails and it resets the connection
+    TORN_FRAME = "torn-frame"
+    #: transport: the shard host stalls before answering this call for
+    #: ``socket_stall_s`` seconds (longer than any sane per-call
+    #: timeout, so the caller times out and resends)
+    SOCKET_STALL = "socket-stall"
+    #: transport: the shard-host process is SIGSTOPped (alive but
+    #: frozen — heartbeats time out, the breaker opens) for
+    #: ``sigstop_s`` seconds, then SIGCONTed
+    HOST_SIGSTOP = "host-sigstop"
+    #: transport: the shard-host process is killed with SIGKILL at
+    #: ``host_kill_fraction`` of the way through the epoch's burst —
+    #: the kernel-grade shard death only a real process can model
+    HOST_SIGKILL = "host-sigkill"
+    #: transport: the connect() to the shard host is refused for this
+    #: attempt (host restarting, backlog full, socket path raced)
+    CONNECT_REFUSED = "connect-refused"
 
 
 CHILD_SITE = "child"
@@ -165,6 +183,7 @@ SERVE_SITE = "serve"
 CLUSTER_SITE = "cluster"
 SNAPSHOT_SITE = "snapshot"
 CHAOS_SITE = "chaos"
+TRANSPORT_SITE = "transport"
 
 #: The reserved journal-site key the recovery pass queries for
 #: DOUBLE_RECOVERY (transaction seqs start at 1, so 0 never collides).
@@ -216,6 +235,13 @@ SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
         FaultKind.COMPACTION_CRASH,
     ),
     CHAOS_SITE: (FaultKind.COLD_RESTART,),
+    TRANSPORT_SITE: (
+        FaultKind.TORN_FRAME,
+        FaultKind.SOCKET_STALL,
+        FaultKind.HOST_SIGSTOP,
+        FaultKind.HOST_SIGKILL,
+        FaultKind.CONNECT_REFUSED,
+    ),
 }
 
 
@@ -265,6 +291,9 @@ class FaultPlan:
     slow_tenant_s: float = 0.02
     shard_crash_fraction: float = 0.5
     partition_beats: float = 4.0
+    socket_stall_s: float = 1.0
+    sigstop_s: float = 0.2
+    host_kill_fraction: float = 0.5
     #: Optional telemetry sink (see :meth:`note_injection`); wired by
     #: :meth:`repro.obs.Observability.watch_fault_plan`. Excluded from
     #: equality so plans still compare by schedule.
@@ -310,6 +339,12 @@ class FaultPlan:
             return self.shard_crash_fraction
         if kind is FaultKind.ROUTER_PARTITION:
             return self.partition_beats
+        if kind is FaultKind.SOCKET_STALL:
+            return self.socket_stall_s
+        if kind is FaultKind.HOST_SIGSTOP:
+            return self.sigstop_s
+        if kind is FaultKind.HOST_SIGKILL:
+            return self.host_kill_fraction
         return 0.0
 
     # -- the decision procedure -------------------------------------------

@@ -38,6 +38,7 @@ from repro.journal.wal import (
     MemoryJournalStorage,
     QuarantineEntry,
     find_block_win,
+    read_quarantine,
     record_block_win,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "RecoveryReport",
     "SourceGate",
     "find_block_win",
+    "read_quarantine",
     "record_block_win",
     "recover",
 ]

@@ -73,6 +73,7 @@ import json
 import os
 import pickle
 import struct
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Any
@@ -114,6 +115,24 @@ class QuarantineEntry:
             "reason": self.reason, "crc_expected": self.crc_expected,
             "crc_got": self.crc_got,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantineEntry":
+        """Rebuild an entry from an :meth:`as_dict` image (sidecar line).
+
+        Tolerates the extra keys a sidecar line carries (``blob_len``,
+        ``blob_hex``) but insists on the structural fields — a line
+        missing them is malformed and raises ``KeyError``/``TypeError``
+        for :func:`read_quarantine` to skip.
+        """
+        return cls(
+            site=data["site"],
+            offset=int(data["offset"]),
+            length=int(data["length"]),
+            reason=data["reason"],
+            crc_expected=data.get("crc_expected"),
+            crc_got=data.get("crc_got"),
+        )
 
 #: Fault kinds armed at ``begin`` and fired later in the transaction.
 _ARMED_KINDS = (
@@ -243,11 +262,55 @@ class FileJournalStorage:
             os.fsync(fh.fileno())
         self._fsync_dir()
 
+    def read_quarantine(self) -> list[tuple[QuarantineEntry, bytes]]:
+        """Parse this journal's ``.quarantine`` sidecar (see
+        :func:`read_quarantine`); empty list when none exists."""
+        return read_quarantine(self.quarantine_path)
+
     def __len__(self) -> int:
         try:
             return os.path.getsize(self.path)
         except OSError:
             return 0
+
+
+def read_quarantine(path: str) -> list[tuple[QuarantineEntry, bytes]]:
+    """Parse a ``.quarantine`` sidecar into structured entries.
+
+    Returns ``(entry, blob)`` pairs — ``blob`` is the quarantined bytes
+    as written (hex-decoded, capped at 4 KiB by the writer; ``b""`` when
+    the line carried none). The sidecar is itself append-only and
+    unsynced against crashes at the *line* level, so damage is expected:
+    a malformed or truncated line (bad JSON, missing structural fields,
+    odd-length hex) is **skipped with a warning**, never an exception —
+    a restore must not die on the report of an earlier corruption.
+    """
+    out: list[tuple[QuarantineEntry, bytes]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except (OSError, UnicodeDecodeError):
+        return out
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise TypeError(f"sidecar line is {type(data).__name__}")
+            entry = QuarantineEntry.from_dict(data)
+            blob = bytes.fromhex(data.get("blob_hex", "") or "")
+        except (ValueError, TypeError, KeyError) as exc:
+            warnings.warn(
+                f"skipping malformed quarantine line {lineno} of {path}: "
+                f"{type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        out.append((entry, blob))
+    return out
 
 
 class CommitJournal:

@@ -179,7 +179,10 @@ class SpeculationService:
     supervisor_retries / supervisor_backoff_s:
         Per-request :class:`Supervisor` knobs.
     fault_plan / journal / obs:
-        The robustness planes, threaded through every layer.
+        The robustness planes, threaded through every layer. ``journal``
+        also accepts a plain filesystem path (a ``str``), opened as a
+        :class:`~repro.journal.FileJournalStorage`-backed journal — the
+        form a shard-host child process is configured with.
     journal_admission:
         When True (and a journal is present), every non-shadow submit is
         journalled as a sealed ``admit`` transaction carrying the
@@ -232,6 +235,12 @@ class SpeculationService:
         self.supervisor_retries = supervisor_retries
         self.supervisor_backoff_s = supervisor_backoff_s
         self.fault_plan = fault_plan
+        if isinstance(journal, str):
+            # a filesystem path: the config form a shard-host child
+            # process receives, where the journal must outlive the pid
+            from repro.journal import CommitJournal, FileJournalStorage
+
+            journal = CommitJournal(storage=FileJournalStorage(journal))
         self.journal = journal
         self.obs = obs
         self.on_resolve = on_resolve

@@ -1,0 +1,345 @@
+"""Out-of-process shards: real processes, framed RPC, SIGKILL failover.
+
+Everything here spawns actual shard-host processes (fork + Unix socket),
+so "shard death" is a literal ``kill -9`` and the only survivor is the
+journal *file* — the strongest version of the failover claim the
+in-process tests make.
+"""
+
+import functools
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    CircuitBreaker,
+    ClusterRouter,
+    ClusterShard,
+    RemoteShardClient,
+    ShardState,
+)
+from repro.errors import ShardUnreachable
+from repro.faults.plan import TRANSPORT_SITE, FaultKind, FaultPlan
+
+
+def val(ws, i=0):
+    time.sleep(0.002)
+    return i * 7
+
+
+def alts(i):
+    # remote alternatives cross a process boundary: partials of a
+    # module-level function, never closures (closures don't pickle)
+    return [functools.partial(val, i=i)]
+
+
+def make_remote(shard_id, tmp_path, **kw):
+    kw.setdefault("workdir", str(tmp_path / f"shard-{shard_id}"))
+    kw.setdefault("slots", 2)
+    kw.setdefault("workers", 2)
+    return RemoteShardClient(shard_id, **kw)
+
+
+def no_dangling_threads(*names):
+    living = {t.name for t in threading.enumerate()}
+    return not living.intersection(names)
+
+
+class TestLifecycle:
+    def test_start_ping_stop(self, tmp_path):
+        shard = make_remote(0, tmp_path)
+        shard.start()
+        try:
+            assert shard.process_alive()
+            assert shard.pid is not None and shard.pid != os.getpid()
+            assert shard.answers_heartbeat()
+            assert shard.state is ShardState.UP
+            assert shard.idle_slots() == 2
+            snap = shard.snapshot()
+            assert snap["remote"] is True and snap["pid"] == shard.pid
+        finally:
+            shard.stop()
+        assert not shard.process_alive()
+        assert shard.state is ShardState.DEAD
+        assert os.path.exists(shard.journal_path)
+
+    def test_submit_resolves_and_journals(self, tmp_path):
+        shard = make_remote(0, tmp_path)
+        shard.start()
+        resolved = []
+        shard.service.on_resolve = lambda req, res: resolved.append((req.seq, res))
+        try:
+            seq = shard.service.submit("t0", alts(3))
+            deadline = time.monotonic() + 10
+            while not resolved and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert resolved and resolved[0][0] == seq
+            result = resolved[0][1]
+            assert result.status == "committed"
+            assert result.outcome.winner.value == 21
+        finally:
+            shard.stop()
+        # the journal FILE carries the applied block — kill-proof truth
+        applied = [
+            i["data"]["block"] for i, _ in shard.journal.applied_intents("block")
+        ]
+        assert applied == [seq]
+
+    def test_crash_is_sigkill_grade(self, tmp_path):
+        shard = make_remote(0, tmp_path)
+        shard.start()
+        pid = shard.pid
+        shard.crash()
+        assert not shard.process_alive()
+        assert shard.state is ShardState.DEAD
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+        with pytest.raises(ShardUnreachable):
+            shard.service.submit("t0", alts(1))
+
+    def test_restart_bumps_incarnation(self, tmp_path):
+        shard = make_remote(0, tmp_path)
+        shard.start()
+        assert shard.incarnation == 0
+        shard.sigkill()
+        shard.start()
+        try:
+            assert shard.incarnation == 1
+            assert shard.answers_heartbeat()
+        finally:
+            shard.stop()
+
+
+class TestRemoteCluster:
+    def test_remote_burst_commits_exactly_once(self, tmp_path):
+        remotes = [make_remote(i, tmp_path) for i in range(2)]
+        router = ClusterRouter(
+            remotes, heartbeat_s=0.05, detect_interval_s=0.02
+        ).start()
+        try:
+            tickets = [router.submit(f"t{i % 4}", alts(i)) for i in range(12)]
+            results = [t.result(timeout=30) for t in tickets]
+            assert all(r.committed for r in results)
+            for i, r in enumerate(results):
+                assert r.value == i * 7
+            audit = router.audit_applied()
+            assert all(audit.get(r.seq, 0) == 1 for r in results)
+        finally:
+            router.stop()
+        assert all(not r.process_alive() for r in remotes)
+
+    def test_local_and_remote_mix_in_one_ring(self, tmp_path):
+        shards = [ClusterShard(0, slots=2, workers=2), make_remote(1, tmp_path)]
+        router = ClusterRouter(shards).start(detect=False)
+        try:
+            tickets = [router.submit(f"t{i % 5}", alts(i)) for i in range(10)]
+            results = [t.result(timeout=30) for t in tickets]
+            assert all(r.committed for r in results)
+            audit = router.audit_applied()
+            assert all(audit.get(r.seq, 0) == 1 for r in results)
+        finally:
+            router.stop()
+
+    def test_sigkill_mid_burst_fails_over(self, tmp_path):
+        remotes = [
+            make_remote(
+                i, tmp_path, call_timeout_s=0.5,
+                breaker_threshold=2, breaker_cooldown_s=0.3,
+            )
+            for i in range(3)
+        ]
+        router = ClusterRouter(
+            remotes, heartbeat_s=0.05, miss_threshold=2, detect_interval_s=0.02
+        ).start()
+        try:
+            tickets = []
+            for i in range(18):
+                tickets.append(router.submit(f"t{i % 6}", alts(i)))
+                if i == 8:
+                    remotes[1].sigkill()  # real kill -9, detector must notice
+            results = [t.result(timeout=30) for t in tickets]
+            assert all(r.committed for r in results), [
+                (r.status, r.reason) for r in results if not r.committed
+            ]
+            audit = router.audit_applied()
+            doubles = {s: c for s, c in audit.items() if c > 1}
+            assert not doubles, f"double commits: {doubles}"
+            assert all(audit.get(r.seq, 0) == 1 for r in results)
+        finally:
+            router.stop()
+
+    def test_spare_degrades_remote_to_local(self, tmp_path):
+        remotes = [
+            make_remote(
+                i, tmp_path, call_timeout_s=0.3,
+                breaker_threshold=2, breaker_cooldown_s=0.2,
+            )
+            for i in range(2)
+        ]
+        router = ClusterRouter(
+            remotes, heartbeat_s=0.05, miss_threshold=2, detect_interval_s=0.02,
+            spare_factory=lambda: ClusterShard(100, slots=4, workers=4),
+        ).start()
+        try:
+            tickets = [router.submit(f"t{i % 3}", alts(i)) for i in range(8)]
+            for shard in remotes:
+                shard.sigkill()  # the whole remote fleet dies
+            results = [t.result(timeout=30) for t in tickets]
+            assert all(r.committed for r in results)
+            assert 100 in router.snapshot()["retired"] or any(
+                m["shard"] == 100 for m in router.snapshot()["members"]
+            )
+            audit = router.audit_applied()
+            assert not {s: c for s, c in audit.items() if c > 1}
+        finally:
+            router.stop()
+
+
+class TestBreaker:
+    def test_unit_state_machine(self):
+        now = [0.0]
+        transitions = []
+        b = CircuitBreaker(
+            threshold=2, cooldown_s=1.0, clock=lambda: now[0],
+            on_transition=transitions.append,
+        )
+        assert b.allow() and b.state == "closed"
+        b.record_failure()
+        assert b.allow()  # one failure: still closed
+        b.record_failure()
+        assert b.state == "open" and not b.allow()
+        now[0] = 1.5  # past cooldown: exactly one probe allowed
+        assert b.allow() and b.state == "half-open"
+        assert not b.allow()
+        b.record_failure()  # probe failed: re-open
+        assert b.state == "open" and not b.allow()
+        now[0] = 3.0
+        assert b.allow()
+        b.record_ok()  # probe succeeded: closed again
+        assert b.state == "closed" and b.allow()
+        assert transitions == ["open", "half-open", "open", "half-open", "closed"]
+
+    def test_sigstop_opens_breaker_and_cont_recovers(self, tmp_path):
+        shard = make_remote(
+            0, tmp_path, call_timeout_s=0.2, heartbeat_timeout_s=0.2,
+            breaker_threshold=2, breaker_cooldown_s=0.3,
+        )
+        shard.start()
+        try:
+            assert shard.answers_heartbeat()
+            shard.sigstop()
+            assert not shard.answers_heartbeat()
+            assert not shard.answers_heartbeat()
+            assert shard.breaker.state == "open"
+            # while open, beats fail fast (no socket wait)
+            t0 = time.monotonic()
+            assert not shard.answers_heartbeat()
+            assert time.monotonic() - t0 < 0.1
+            shard.sigcont()
+            time.sleep(0.35)  # past cooldown: half-open probe runs
+            recovered = any(
+                shard.answers_heartbeat() or time.sleep(0.1)
+                for _ in range(20)
+            )
+            assert recovered
+            assert shard.breaker.state == "closed"
+        finally:
+            shard.stop()
+
+
+class TestTransportFaults:
+    def test_torn_frames_are_retried_through(self, tmp_path):
+        plan = FaultPlan(seed=11, rates={FaultKind.TORN_FRAME: 0.3})
+        shard = make_remote(0, tmp_path, fault_plan=plan)
+        shard.start()
+        resolved = []
+        shard.service.on_resolve = lambda req, res: resolved.append(req.seq)
+        try:
+            seqs = [shard.service.submit(f"t{i % 3}", alts(i)) for i in range(10)]
+            deadline = time.monotonic() + 20
+            while len(resolved) < len(seqs) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert sorted(resolved) == sorted(seqs)
+        finally:
+            shard.stop()
+        torn = [r for r in plan.injections if r["kind"] == "torn-frame"]
+        assert torn, "the plan must actually have torn frames"
+        applied = [
+            i["data"]["block"] for i, _ in shard.journal.applied_intents("block")
+        ]
+        assert sorted(applied) == sorted(seqs)  # exactly once despite resends
+
+    def test_socket_stall_rides_timeout_and_dedup(self, tmp_path):
+        # stalls longer than the per-call timeout force resends; the
+        # host's idempotency cache must keep submits single-execution
+        plan = FaultPlan(
+            seed=7, rates={FaultKind.SOCKET_STALL: 0.25}, socket_stall_s=0.35,
+        )
+        shard = make_remote(0, tmp_path, fault_plan=plan, call_timeout_s=0.15)
+        shard.start()
+        resolved = []
+        shard.service.on_resolve = lambda req, res: resolved.append(req.seq)
+        try:
+            seqs = [shard.service.submit(f"t{i % 3}", alts(i)) for i in range(8)]
+            deadline = time.monotonic() + 30
+            while len(set(resolved)) < len(seqs) and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert sorted(set(resolved)) == sorted(seqs)
+        finally:
+            shard.stop()
+        stalls = [r for r in plan.injections if r["kind"] == "socket-stall"]
+        assert stalls, "the plan must actually have stalled"
+        applied = [
+            i["data"]["block"] for i, _ in shard.journal.applied_intents("block")
+        ]
+        assert sorted(applied) == sorted(seqs), "a resend double-executed"
+
+    def test_connect_refused_beats_fail_but_recover(self, tmp_path):
+        # seed 3 refuses beats 13-15, 20, 26, 28: bursts of failure that
+        # never reach the breaker threshold, so the shard stays usable
+        plan = FaultPlan(seed=3, rates={FaultKind.CONNECT_REFUSED: 0.3})
+        shard = make_remote(0, tmp_path, fault_plan=plan)
+        shard.start()
+        try:
+            beats = [shard.answers_heartbeat() for _ in range(30)]
+            assert sum(beats) >= 20, "most beats must land"
+            assert not all(beats), "some beats must be refused"
+            assert shard.breaker.state == "closed"
+        finally:
+            shard.stop()
+        refused = [r for r in plan.injections if r["kind"] == "connect-refused"]
+        assert refused, "the plan must actually have refused connects"
+
+
+class TestDetectorHygiene:
+    """Satellite: stop()/close() must reap the detector thread."""
+
+    def test_stop_joins_detector_thread(self, tmp_path):
+        router = ClusterRouter(
+            [ClusterShard(0, slots=2, workers=2)], detect_interval_s=0.01
+        ).start()
+        assert any(
+            t.name == "cluster-detector" for t in threading.enumerate()
+        )
+        router.stop()
+        assert router._detector is None
+        assert no_dangling_threads("cluster-detector")
+
+    def test_close_is_stop(self):
+        router = ClusterRouter(
+            [ClusterShard(0, slots=2, workers=2)], detect_interval_s=0.01
+        ).start()
+        router.close()
+        assert router._detector is None
+        assert no_dangling_threads("cluster-detector")
+        router.close()  # idempotent
+
+    def test_stop_with_remote_members_leaves_no_threads(self, tmp_path):
+        remotes = [make_remote(i, tmp_path) for i in range(2)]
+        router = ClusterRouter(remotes, detect_interval_s=0.02).start()
+        router.submit("t0", alts(1)).result(timeout=30)
+        router.stop()
+        assert no_dangling_threads("cluster-detector")
+        assert all(not r.process_alive() for r in remotes)

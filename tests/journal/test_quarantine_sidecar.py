@@ -1,0 +1,162 @@
+"""Reading ``.quarantine`` sidecars back: round-trips and damaged lines.
+
+``test_file_durability`` proves the *writer* side (torn tails land in a
+structured JSONL sidecar). This file proves the *reader* side that the
+remote-shard restore path leans on: :func:`repro.journal.read_quarantine`
+must round-trip every entry a real repair wrote, and — because the
+sidecar is itself an unsynced append-only file — must skip malformed or
+truncated lines with a warning instead of crashing the restore.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.journal import CommitJournal, FileJournalStorage, read_quarantine
+from repro.journal.wal import QuarantineEntry
+
+
+def _fill(journal, n=4):
+    for i in range(n):
+        txn = journal.begin("admit", request=i, tenant="t", spec={"n": i})
+        journal.seal(txn)
+    return journal
+
+
+def _torn_journal(tmp_path, tail=b"\x07\x00\x00\x00\xde\xad"):
+    """Build a journal, tear its tail, reopen (which quarantines)."""
+    path = tmp_path / "j.wal"
+    storage = FileJournalStorage(str(path))
+    _fill(CommitJournal(storage=storage))
+    with open(path, "ab") as fh:
+        fh.write(tail)
+    CommitJournal(storage=FileJournalStorage(str(path)))
+    return path, path.with_suffix(".wal.quarantine")
+
+
+class TestRoundTrip:
+    def test_entry_dict_round_trip(self):
+        entry = QuarantineEntry(
+            site="tail", offset=128, length=6, reason="torn record",
+            crc_expected=0xDEAD, crc_got=0xBEEF,
+        )
+        assert QuarantineEntry.from_dict(entry.as_dict()) == entry
+
+    def test_from_dict_tolerates_sidecar_extras(self):
+        # a sidecar line carries blob_len/blob_hex on top of as_dict()
+        data = QuarantineEntry("tail", 0, 4, "torn").as_dict()
+        data.update(blob_len=4, blob_hex="99000000", future_field=1)
+        entry = QuarantineEntry.from_dict(data)
+        assert (entry.site, entry.offset, entry.length) == ("tail", 0, 4)
+
+    def test_from_dict_insists_on_structural_fields(self):
+        with pytest.raises((KeyError, TypeError)):
+            QuarantineEntry.from_dict({"site": "tail", "reason": "torn"})
+
+    def test_real_torn_tail_round_trips(self, tmp_path):
+        tail = b"\x07\x00\x00\x00\xde\xad"
+        path, sidecar = _torn_journal(tmp_path, tail)
+        assert sidecar.exists()
+        entries = read_quarantine(str(sidecar))
+        assert len(entries) == 1
+        entry, blob = entries[0]
+        assert isinstance(entry, QuarantineEntry)
+        assert entry.site == "tail"
+        assert entry.length == len(tail)
+        assert blob == tail, "quarantined bytes must come back verbatim"
+
+    def test_storage_method_matches_module_function(self, tmp_path):
+        path, sidecar = _torn_journal(tmp_path)
+        storage = FileJournalStorage(str(path))
+        assert storage.read_quarantine() == read_quarantine(str(sidecar))
+
+    def test_missing_sidecar_is_empty(self, tmp_path):
+        assert read_quarantine(str(tmp_path / "nope.quarantine")) == []
+        storage = FileJournalStorage(str(tmp_path / "clean.wal"))
+        assert storage.read_quarantine() == []
+
+    def test_multiple_entries_preserve_order(self, tmp_path):
+        sidecar = tmp_path / "multi.quarantine"
+        lines = []
+        for i in range(3):
+            data = QuarantineEntry(
+                "tail", offset=100 * i, length=4, reason=f"torn {i}"
+            ).as_dict()
+            data.update(blob_len=4, blob_hex=f"{i:02x}000000")
+            lines.append(json.dumps(data))
+        sidecar.write_text("\n".join(lines) + "\n")
+        entries = read_quarantine(str(sidecar))
+        assert [e.offset for e, _ in entries] == [0, 100, 200]
+        assert [b for _, b in entries] == [
+            b"\x00\x00\x00\x00", b"\x01\x00\x00\x00", b"\x02\x00\x00\x00",
+        ]
+
+
+class TestDamagedSidecar:
+    """The corruption report can itself be corrupt; restores must not die."""
+
+    def _good_line(self, offset=0):
+        data = QuarantineEntry("tail", offset, 4, "torn").as_dict()
+        data.update(blob_len=4, blob_hex="99000000")
+        return json.dumps(data)
+
+    def test_malformed_lines_skipped_with_warning(self, tmp_path):
+        sidecar = tmp_path / "j.quarantine"
+        sidecar.write_text(
+            "\n".join(
+                [
+                    self._good_line(offset=0),
+                    "{not json at all",              # bad JSON
+                    json.dumps(["a", "list"]),       # wrong shape
+                    json.dumps({"site": "tail"}),    # missing fields
+                    self._good_line(offset=64),
+                ]
+            )
+            + "\n"
+        )
+        with pytest.warns(RuntimeWarning) as caught:
+            entries = read_quarantine(str(sidecar))
+        # the good lines survive in order; each bad one warned
+        assert [e.offset for e, _ in entries] == [0, 64]
+        assert len(caught) == 3
+        assert all("quarantine line" in str(w.message) for w in caught)
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        # the sidecar is append-only and unsynced: a crash can tear its
+        # own last line, exactly like the journal it reports on
+        sidecar = tmp_path / "j.quarantine"
+        whole = self._good_line()
+        sidecar.write_text(whole + "\n" + whole[: len(whole) // 2])
+        with pytest.warns(RuntimeWarning):
+            entries = read_quarantine(str(sidecar))
+        assert len(entries) == 1
+
+    def test_odd_length_hex_blob_skipped(self, tmp_path):
+        sidecar = tmp_path / "j.quarantine"
+        data = json.loads(self._good_line())
+        data["blob_hex"] = "abc"  # odd length: undecodable
+        sidecar.write_text(json.dumps(data) + "\n" + self._good_line() + "\n")
+        with pytest.warns(RuntimeWarning):
+            entries = read_quarantine(str(sidecar))
+        assert len(entries) == 1
+
+    def test_blank_lines_ignored_silently(self, tmp_path):
+        sidecar = tmp_path / "j.quarantine"
+        sidecar.write_text("\n\n" + self._good_line() + "\n\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            entries = read_quarantine(str(sidecar))
+        assert len(entries) == 1
+
+    def test_restore_survives_damaged_sidecar(self, tmp_path):
+        # end-to-end: reopening a journal whose sidecar is garbage must
+        # still restore the committed prefix
+        path, sidecar = _torn_journal(tmp_path)
+        sidecar.write_bytes(b"\xff\xfe garbage \x00" + sidecar.read_bytes())
+        reopened = CommitJournal(storage=FileJournalStorage(str(path)))
+        sealed = {
+            intent["data"]["request"]
+            for intent in reopened.sealed_unapplied_intents("admit")
+        }
+        assert sealed == {0, 1, 2, 3}

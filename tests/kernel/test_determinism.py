@@ -85,7 +85,10 @@ def test_response_time_tracks_fastest_with_enough_cpus(costs):
     assert outcome.elapsed_s >= best
     # overhead on MODERN_SIM is microseconds; one quantum of slack
     assert outcome.elapsed_s <= best + kernel.profile.quantum_s + 0.01
-    assert outcome.winner.index == costs.index(best)
+    # near-tied costs finish inside the same quantum, where either may
+    # synchronize first — assert the winner is quantum-close to best,
+    # not that it is exactly the argmin
+    assert costs[outcome.winner.index] <= best + kernel.profile.quantum_s
 
 
 @given(
