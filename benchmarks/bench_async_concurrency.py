@@ -1,0 +1,284 @@
+"""Asyncio backend at scale: tens of thousands of concurrent worlds.
+
+The paper's profitability frontier (Fig. 4) says speculation pays while
+the overhead ratio R_o stays small; the asyncio backend's pitch is that
+for I/O-bound alternatives R_o collapses because a world is a task, not
+a process. Four phases make that claim measurable:
+
+- **scale** — one alternative block with 10,000 worlds, every one of
+  them verifiably in flight at the same instant (a shared barrier event
+  that only releases once the in-flight counter reaches N). No
+  per-process backend can hold this block at all.
+- **spawn cost** — per-world setup time (the backend's measured
+  ``overhead.setup_s`` divided by worlds spawned) for async vs thread
+  vs fork: the R_o numerator, side by side.
+- **wide-K** — an I/O-bound burst where exactly one of 16 probe
+  alternatives is fast and its position shifts per request. A fixed-K
+  arm clamped to its 4-slot grant finds it ~4/16 of the time; the
+  adaptive policy's per-class wide-K opt-in runs all 16 on the async
+  backend and finds it every time. Wide-K must win p50 latency.
+- **faults** — the journal exactly-once audit under the ``asyncio``
+  fault site (slow tasks, swallowed cancellations, loop stalls) plus
+  child crashes: every committed block has exactly one applied win txn.
+"""
+
+import asyncio
+import random
+import statistics
+import sys
+import time
+
+from _harness import mean_std, metric, report, report_json, table
+from repro.aio import alt_block_async
+from repro.core.worlds import run_alternatives
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.journal import CommitJournal
+from repro.serve import AdaptiveSpeculationPolicy
+
+SCALE_WORLDS = 10_000
+SPAWN_WORLDS = {"async": 2_000, "thread": 32, "fork": 16}
+WIDE_ALTS = 16
+WIDE_GRANT = 4
+WIDE_REQUESTS = 30
+QUICK_WIDE_REQUESTS = 10
+FAULT_BLOCKS = 40
+QUICK_FAULT_BLOCKS = 15
+FAST_S, SLOW_S = 0.01, 0.1
+
+
+# -- phase 1: N worlds, all simultaneously in flight -----------------------
+def run_scale(n=SCALE_WORLDS):
+    state = {"inflight": 0, "peak": 0}
+
+    async def world(ws, release, _i):
+        state["inflight"] += 1
+        state["peak"] = max(state["peak"], state["inflight"])
+        if state["inflight"] >= n:
+            release.set()
+        await release.wait()
+        state["inflight"] -= 1
+        return _i
+
+    async def block():
+        release = asyncio.Event()
+        alts = [
+            (lambda ws, _i=i, _r=release: world(ws, _r, _i)) for i in range(n)
+        ]
+        t0 = time.perf_counter()
+        out = await alt_block_async(alts)
+        return out, time.perf_counter() - t0
+
+    out, wall_s = asyncio.run(block())
+    assert out.winner is not None, "scale block failed to commit"
+    return {"worlds": n, "peak_inflight": state["peak"], "wall_s": wall_s}
+
+
+# -- phase 2: per-world spawn cost, async vs thread vs fork ----------------
+def _noop(ws):
+    return 1
+
+
+def run_spawn_cost():
+    import os
+
+    rows = {}
+    for backend, n in SPAWN_WORLDS.items():
+        if backend == "fork" and not hasattr(os, "fork"):
+            continue
+        out = run_alternatives([_noop] * n, backend=backend)
+        assert out.winner is not None
+        rows[backend] = {
+            "worlds": n,
+            "spawn_us_per_world": out.overhead.setup_s / n * 1e6,
+        }
+    return rows
+
+
+# -- phase 3: adaptive wide-K vs grant-clamped fixed-K ---------------------
+def _probe(delay_s, value):
+    return lambda ws: asyncio.sleep(delay_s, result=value)
+
+
+def run_wide_k(requests=WIDE_REQUESTS, seed=0):
+    rng = random.Random(seed)
+    names = [f"probe{i}" for i in range(WIDE_ALTS)]
+    arms = {
+        "fixed": (AdaptiveSpeculationPolicy(), {}),
+        "wide": (
+            AdaptiveSpeculationPolicy(class_max_k={"io-probe": WIDE_ALTS}),
+            {"request_class": "io-probe"},
+        ),
+    }
+    fast_positions = [rng.randrange(WIDE_ALTS) for _ in range(requests)]
+    results = {}
+    for arm, (policy, kwargs) in arms.items():
+        latencies, hits = [], 0
+        for fast_at in fast_positions:
+            alts = [
+                _probe(FAST_S if i == fast_at else SLOW_S, f"probe{i}")
+                for i in range(WIDE_ALTS)
+            ]
+            decision = policy.decide(names, granted=WIDE_GRANT, **kwargs)
+            launched = [alts[i] for i in decision.order]
+            t0 = time.perf_counter()
+            out = run_alternatives(launched, backend=decision.backend or "async")
+            latencies.append(time.perf_counter() - t0)
+            if out.value == f"probe{fast_at}":
+                hits += 1
+        results[arm] = {
+            "k": decision.k,
+            "p50_ms": statistics.median(latencies) * 1000,
+            "fast_hit_rate": hits / requests,
+        }
+    return results
+
+
+# -- phase 4: exactly-once journal audit under the asyncio fault site ------
+def _racer(ws):
+    return asyncio.sleep(0.002, result="won")
+
+
+def run_fault_audit(blocks=FAULT_BLOCKS, seed=0):
+    plan = FaultPlan(
+        seed=seed,
+        rates={
+            FaultKind.SLOW_TASK: 0.3,
+            FaultKind.CANCEL_IGNORED: 0.2,
+            FaultKind.LOOP_STALL: 0.1,
+            FaultKind.CRASH: 0.2,
+        },
+        slow_task_s=0.005,
+        cancel_ignore_s=0.01,
+        loop_stall_s=0.002,
+    )
+    journal = CommitJournal()
+    committed, injected = [], 0
+    for block_id in range(blocks):
+        out = run_alternatives(
+            [_racer] * 4, backend="async", fault_plan=plan,
+            block_id=block_id, journal=journal,
+        )
+        injected += len(out.extras.get("injected_faults", ()))
+        if out.winner is not None:
+            committed.append(block_id)
+    intents = [
+        r for r in journal.records()
+        if r["t"] == "intent" and r["kind"] == "block"
+    ]
+    violations = 0
+    if sorted(r["data"]["block"] for r in intents) != committed:
+        violations += 1
+    violations += sum(
+        1 for r in intents if journal.status(r["seq"]) != "applied"
+    )
+    return {
+        "blocks": blocks,
+        "committed": len(committed),
+        "injected_faults": injected,
+        "violations": violations,
+    }
+
+
+# -- harness ---------------------------------------------------------------
+def sweep(wide_requests=WIDE_REQUESTS, fault_blocks=FAULT_BLOCKS):
+    return {
+        "scale": run_scale(),
+        "spawn": run_spawn_cost(),
+        "wide": run_wide_k(requests=wide_requests),
+        "faults": run_fault_audit(blocks=fault_blocks),
+    }
+
+
+def _check(results):
+    scale = results["scale"]
+    assert scale["peak_inflight"] >= SCALE_WORLDS, (
+        f"only {scale['peak_inflight']} worlds simultaneously in flight"
+    )
+    spawn = results["spawn"]
+    assert spawn["async"]["spawn_us_per_world"] < (
+        spawn["thread"]["spawn_us_per_world"]
+    ), "async spawn cost did not beat thread"
+    wide = results["wide"]
+    assert wide["wide"]["fast_hit_rate"] == 1.0, (
+        "wide-K missed the fast probe"
+    )
+    assert wide["wide"]["p50_ms"] < wide["fixed"]["p50_ms"], (
+        "wide-K p50 did not beat grant-clamped fixed-K "
+        f"({wide['wide']['p50_ms']:.1f}ms vs {wide['fixed']['p50_ms']:.1f}ms)"
+    )
+    faults = results["faults"]
+    assert faults["violations"] == 0, "journal exactly-once audit failed"
+    assert faults["injected_faults"] > 0, "fault plan never fired"
+
+
+def _metrics(results):
+    scale, spawn = results["scale"], results["spawn"]
+    wide, faults = results["wide"], results["faults"]
+    rows = [
+        metric("async_peak_inflight_worlds", float(scale["peak_inflight"]), "worlds"),
+        metric("async_scale_block_wall", scale["wall_s"], "s"),
+        metric("async_spawn_cost", spawn["async"]["spawn_us_per_world"], "us/world"),
+        metric("thread_spawn_cost", spawn["thread"]["spawn_us_per_world"], "us/world"),
+        metric("wide_k_p50", wide["wide"]["p50_ms"], "ms"),
+        metric("fixed_k_p50", wide["fixed"]["p50_ms"], "ms"),
+        metric("wide_k_fast_hit_rate", wide["wide"]["fast_hit_rate"], "ratio"),
+        metric("fixed_k_fast_hit_rate", wide["fixed"]["fast_hit_rate"], "ratio"),
+        metric("async_exactly_once_violations", float(faults["violations"]), "count"),
+        metric("async_injected_faults", float(faults["injected_faults"]), "count"),
+    ]
+    if "fork" in spawn:
+        rows.append(
+            metric("fork_spawn_cost", spawn["fork"]["spawn_us_per_world"], "us/world")
+        )
+    return rows
+
+
+def _render(results):
+    scale, spawn = results["scale"], results["spawn"]
+    wide, faults = results["wide"], results["faults"]
+    parts = [
+        f"scale: {scale['peak_inflight']} worlds simultaneously in flight "
+        f"(one block, {scale['wall_s']:.2f}s wall)",
+        "",
+        table(
+            ("backend", "worlds", "spawn_us/world"),
+            [
+                (b, row["worlds"], row["spawn_us_per_world"])
+                for b, row in spawn.items()
+            ],
+            fmt="10.1f",
+        ),
+        "",
+        table(
+            ("arm", "K", "p50_ms", "fast_hit_rate"),
+            [
+                (arm, row["k"], row["p50_ms"], row["fast_hit_rate"])
+                for arm, row in wide.items()
+            ],
+            fmt="8.2f",
+        ),
+        "",
+        f"faults: {faults['committed']}/{faults['blocks']} blocks committed, "
+        f"{faults['injected_faults']} faults injected, "
+        f"{faults['violations']} exactly-once violations",
+    ]
+    return "\n".join(parts)
+
+
+def test_async_concurrency(benchmark):
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    report("async_concurrency", _render(results))
+    report_json("async_concurrency", _metrics(results))
+    _check(results)
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    swept = sweep(
+        wide_requests=QUICK_WIDE_REQUESTS if quick else WIDE_REQUESTS,
+        fault_blocks=QUICK_FAULT_BLOCKS if quick else FAULT_BLOCKS,
+    )
+    report("async_concurrency", _render(swept))
+    report_json("async_concurrency", _metrics(swept))
+    _check(swept)
+    print("ok")

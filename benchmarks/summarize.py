@@ -28,6 +28,11 @@ def _warn(message: str) -> None:
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPORT = os.path.join(os.path.dirname(__file__), "REPORT.md")
 BENCH_OBS = os.path.join(RESULTS_DIR, "BENCH_OBS.json")
+BENCH_ASYNC = os.path.join(RESULTS_DIR, "BENCH_ASYNC.json")
+
+#: benches whose metrics are additionally split into BENCH_ASYNC.json —
+#: the async-backend acceptance numbers CI consumes on their own
+ASYNC_BENCHES = ("async_concurrency",)
 
 SECTIONS = [
     (
@@ -77,6 +82,7 @@ SECTIONS = [
             ("restart_recovery", "Cold restart — recovery vs journal length"),
             ("chaos_soak", "Chaos soak — cross-layer fault schedule"),
             ("serve_throughput", "Speculation service — load sweep"),
+            ("async_concurrency", "Asyncio backend — 10k-world concurrency"),
             ("cluster_scale", "Cluster — scale-out and shard-kill recovery"),
             ("cluster_remote", "Cluster — out-of-process shards and host kills"),
         ],
@@ -137,6 +143,8 @@ def merge_json(results_dir: str = RESULTS_DIR, out_path: str | None = None) -> i
     for fname in names:
         if not fname.endswith(".json") or fname == os.path.basename(out_path):
             continue
+        if fname == os.path.basename(BENCH_ASYNC):
+            continue  # our own split artifact, not a per-bench input
         if fname.endswith(".trace.json"):
             continue  # Chrome-trace exports live here too; not metrics
         path = os.path.join(results_dir, fname)
@@ -156,6 +164,15 @@ def merge_json(results_dir: str = RESULTS_DIR, out_path: str | None = None) -> i
         json.dump({"metrics": rows}, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out_path} ({len(rows)} metrics from {valid_files} benches)")
+    # the async-backend slice gets its own artifact: malformed inputs
+    # were already skipped above, so this subset is always well-formed
+    async_rows = [r for r in rows if r["bench"] in ASYNC_BENCHES]
+    if async_rows:
+        async_path = os.path.join(results_dir, os.path.basename(BENCH_ASYNC))
+        with open(async_path, "w") as fh:
+            json.dump({"metrics": async_rows}, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {async_path} ({len(async_rows)} async metrics)")
     return valid_files
 
 

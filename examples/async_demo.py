@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Tens of thousands of worlds: the asyncio backend at work.
+
+The fork and thread backends spend a process or a thread per world,
+which caps a block at tens of concurrent alternatives. When the
+alternatives are I/O-bound — network probes, replica reads, tool calls
+— `repro.aio` makes a world an asyncio *task* instead, and the same
+block holds ten thousand concurrent worlds in one process. Three acts:
+
+1. **a replica race** — query five "replicas" with very different
+   latencies; the fastest acceptable answer commits, the rest are
+   eliminated by task cancellation (the substrate's SIGKILL);
+2. **the sync vs coroutine entry points** — `backend="async"` from
+   plain code, `await alt_block_async(...)` from inside a host loop;
+3. **scale** — a single block of 10,000 worlds, all verifiably in
+   flight at the same instant.
+
+Run: PYTHONPATH=src python examples/async_demo.py
+"""
+
+import asyncio
+import time
+
+from repro import Alternative, Guard, run_alternatives
+from repro.aio import alt_block_async
+
+
+# ---------------------------------------------------------------------------
+# act 1: race five replicas, commit the fastest acceptable answer
+# ---------------------------------------------------------------------------
+REPLICAS = {
+    "cache": 0.002,        # fast, but stale (the guard rejects it)
+    "local-disk": 0.02,
+    "zone-b": 0.08,
+    "zone-c": 0.12,
+    "cold-storage": 0.50,
+}
+
+
+def probe(name, latency_s):
+    async def body(ws):
+        await asyncio.sleep(latency_s)       # the simulated I/O wait
+        ws["served_by"] = name
+        return {"value": 42, "fresh": name != "cache"}
+
+    return Alternative(
+        body,
+        guard=Guard(name="fresh-only", accept=lambda ws, r: r["fresh"]),
+        name=name,
+    )
+
+
+def replica_race():
+    alts = [probe(n, s) for n, s in REPLICAS.items()]
+    t0 = time.perf_counter()
+    out = run_alternatives(alts, backend="async")
+    wall_ms = (time.perf_counter() - t0) * 1000
+    print(f"winner: {out.winner.name} in {wall_ms:.1f} ms "
+          f"(cache was faster but stale — guard rejected it)")
+    print(f"eliminated: {out.extras['eliminated']} slower replicas, "
+          f"state: served_by={out.extras['state']['served_by']}")
+    assert out.winner.name == "local-disk"
+
+
+# ---------------------------------------------------------------------------
+# act 2: the coroutine-native entry, for hosts that already run a loop
+# ---------------------------------------------------------------------------
+async def host_application():
+    # a web handler / agent loop / scheduler that wants a speculative
+    # block *inside* its own event loop: no second loop, no thread hop
+    out = await alt_block_async(
+        [probe(n, s) for n, s in REPLICAS.items()]
+    )
+    print(f"inside the host loop: winner={out.winner.name}, "
+          f"elapsed={out.elapsed_s * 1000:.1f} ms")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# act 3: ten thousand worlds, all in flight at once
+# ---------------------------------------------------------------------------
+def ten_thousand_worlds(n=10_000):
+    state = {"inflight": 0, "peak": 0}
+
+    async def world(ws, release, i):
+        state["inflight"] += 1
+        state["peak"] = max(state["peak"], state["inflight"])
+        if state["inflight"] >= n:
+            release.set()                    # the last one in frees all
+        await release.wait()
+        state["inflight"] -= 1
+        return i
+
+    async def block():
+        release = asyncio.Event()
+        alts = [
+            (lambda ws, _i=i, _r=release: world(ws, _r, _i))
+            for i in range(n)
+        ]
+        t0 = time.perf_counter()
+        out = await alt_block_async(alts)
+        return out, time.perf_counter() - t0
+
+    out, wall_s = asyncio.run(block())
+    print(f"{state['peak']} worlds simultaneously in flight; "
+          f"world {out.value} committed after {wall_s:.2f} s "
+          f"({wall_s / n * 1e6:.1f} us/world)")
+    assert state["peak"] == n
+
+
+if __name__ == "__main__":
+    print("-- act 1: replica race (backend='async') --")
+    replica_race()
+    print("\n-- act 2: coroutine-native entry (alt_block_async) --")
+    asyncio.run(host_application())
+    print("\n-- act 3: 10,000 concurrent worlds --")
+    ten_thousand_worlds()

@@ -1,0 +1,22 @@
+"""``repro.aio``: the massive-concurrency asyncio execution substrate.
+
+Registered as ``backend="async"`` in :mod:`repro.core.backend` — each
+speculative world is an asyncio task, so one process holds tens of
+thousands of concurrent worlds with microsecond spawns, and losers are
+eliminated by task cancellation rather than SIGKILL.
+
+Two surfaces:
+
+- :func:`~repro.aio.backend.run_alternatives_async` — the synchronous
+  :class:`~repro.core.backend.Backend` entry the registry dispatches to
+  (owns a private event loop per block);
+- :func:`~repro.aio.backend.alt_block_async` — the coroutine-native
+  form, for host applications that already run a loop.
+
+See :mod:`repro.aio.backend` for the cancellation-vs-SIGKILL semantics
+and the ``asyncio`` fault site.
+"""
+
+from repro.aio.backend import alt_block_async, run_alternatives_async
+
+__all__ = ["alt_block_async", "run_alternatives_async"]

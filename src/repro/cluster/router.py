@@ -782,6 +782,27 @@ class ClusterRouter:
                 self._grant_request_lease(seq, rec, target)
             return
 
+    def _place_or_spare(
+        self, seq: int, rec: _Inflight, exclude: set[int] | None = None
+    ) -> bool:
+        """:meth:`_place`, degrading remote → local when nothing is left.
+
+        Every failover-side re-placement (takeover re-land, steal
+        re-place, shutdown-shed re-route) shares the same last rung: if
+        every candidate shard is down — e.g. the whole remote fleet died
+        between picking a target and landing on it — adopt the
+        in-process spare and retry once instead of failing a request the
+        cluster already accepted. Returns True iff the spare rung fired.
+        """
+        try:
+            self._place(seq, rec, exclude=exclude)
+            return False
+        except NoSurvivingShard:
+            if self._ensure_spare() is None:
+                raise
+            self._place(seq, rec, exclude=exclude)
+            return True
+
     def _settle_replayed(
         self, seq: int, rec: _Inflight, shard_id: int, win: dict
     ) -> None:
@@ -856,7 +877,7 @@ class ClusterRouter:
             rec.failover = rec.failover or "rerouted"
             self._count(self._failover_c, mode="rerouted")
             try:
-                self._place(request.seq, rec, exclude={rec.shard_id})
+                self._place_or_spare(request.seq, rec, exclude={rec.shard_id})
             except (AdmissionRejected, NoSurvivingShard) as exc:
                 with self._lock:
                     self._inflight.pop(request.seq, None)
@@ -1055,7 +1076,7 @@ class ClusterRouter:
                 # target refused after all: put it back through the
                 # generic placement walk (home first)
                 try:
-                    self._place(request.seq, rec)
+                    self._place_or_spare(request.seq, rec)
                 except (AdmissionRejected, NoSurvivingShard) as exc:
                     with self._lock:
                         self._inflight.pop(request.seq, None)
@@ -1217,16 +1238,11 @@ class ClusterRouter:
             rec.failover = "relanded"
             mode = "relanded"
             try:
-                try:
-                    self._place(seq, rec, exclude={shard_id})
-                except NoSurvivingShard:
-                    # remote → local degradation: every candidate is
-                    # gone (e.g. the whole remote fleet is unreachable),
-                    # so adopt an in-process spare and retry once — the
-                    # cluster-level rung of fork → thread → sequential
-                    if self._ensure_spare() is None:
-                        raise
-                    self._place(seq, rec, exclude={shard_id})
+                # remote → local degradation: when every candidate is
+                # gone (e.g. the whole remote fleet is unreachable), the
+                # helper adopts an in-process spare and retries once —
+                # the cluster-level rung of fork → thread → sequential
+                if self._place_or_spare(seq, rec, exclude={shard_id}):
                     mode = "spare"
             except (AdmissionRejected, NoSurvivingShard) as exc:
                 failed += 1

@@ -1,14 +1,11 @@
 """`run_alternatives`: the user-facing Multiple Worlds entry point.
 
 One call executes a block of mutually exclusive alternatives on a chosen
-backend and returns a :class:`~repro.core.outcome.BlockOutcome`:
+backend and returns a :class:`~repro.core.outcome.BlockOutcome`. The
+backend list below is generated from the registry in
+:mod:`repro.core.backend` (so it cannot go stale):
 
-- ``backend="sim"``  — the deterministic simulation kernel (virtual time,
-  calibrated overheads, full predicate semantics);
-- ``backend="fork"`` — real ``os.fork`` worlds with genuine kernel COW
-  (wall-clock time; see :mod:`repro.runtime.fork_backend`);
-- ``backend="thread"`` — threads with copied workspaces (no COW; useful
-  where fork is unavailable, and as a baseline).
+{backend_list}
 
 All backends share the same sequential semantics: the observable result
 is one some sequential execution of a single alternative could have
@@ -20,27 +17,36 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.analysis.calibration import MODERN_SIM, MachineProfile
-from repro.core.alternative import Alternative
+from repro.core.backend import (
+    backend_names,
+    backend_summaries,
+    normalize_alternatives,
+    resolve_backend,
+)
 from repro.core.outcome import AlternativeResult, BlockOutcome
 from repro.core.policy import EliminationPolicy
 from repro.errors import WorldsError
 
-#: Every backend ``run_alternatives(backend=...)`` accepts.
-BACKENDS = ("sim", "fork", "thread", "sequential")
+#: Backwards-compatible alias; the runtime backends import this name.
+_normalize = normalize_alternatives
+
+__doc__ = (__doc__ or "").format(
+    backend_list="\n".join(
+        f'- ``backend="{name}"`` — {summary};' for name, summary in backend_summaries()
+    )
+)
 
 
-def _normalize(alternatives: Sequence[Any]) -> list[Alternative]:
-    out = []
-    for i, alt in enumerate(alternatives):
-        if isinstance(alt, Alternative):
-            out.append(alt)
-        elif callable(alt):
-            out.append(Alternative(alt, name=getattr(alt, "__name__", f"alt{i}")))
-        else:
-            raise WorldsError(f"cannot use {alt!r} as an alternative")
-    if not out:
-        raise WorldsError("need at least one alternative")
-    return out
+def __getattr__(name: str):
+    # PEP 562: ``BACKENDS`` is computed from the live registry so that
+    # backends registered after import (plugins, tests) appear too.
+    if name == "BACKENDS":
+        return backend_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + ["BACKENDS"])
 
 
 def outcome_from_alt(alt_outcome, state: dict | None = None, extras: dict | None = None) -> BlockOutcome:
@@ -105,7 +111,7 @@ def run_alternatives_sim(
     """
     from repro.kernel import Kernel  # local import: kernel depends on core
 
-    alts = _normalize(alternatives)
+    alts = normalize_alternatives(alternatives)
     kernel = Kernel(
         profile=profile, cpus=cpus, seed=seed, trace=trace,
         fault_plan=fault_plan, journal=journal, obs=obs,
@@ -149,9 +155,16 @@ def run_alternatives(
 
     ``alternatives`` are :class:`Alternative` objects or callables. For
     the ``sim`` backend, callables may be generator programs or plain
-    functions of a dict workspace; for ``fork``/``thread``/``sequential``
-    they are plain functions of a dict workspace. At most one
-    alternative's state change survives into ``outcome.extras["state"]``.
+    functions of a dict workspace; for the OS-style backends
+    (``fork``/``thread``/``sequential``) they are plain functions of a
+    dict workspace, and for ``async`` they may additionally be coroutine
+    functions. At most one alternative's state change survives into
+    ``outcome.extras["state"]``.
+
+    Dispatch goes through the backend registry in
+    :mod:`repro.core.backend`; an unknown ``backend`` raises
+    :class:`~repro.errors.WorldsError` listing the valid names before
+    any side effect occurs.
 
     Robustness plumbing (see :mod:`repro.faults`): ``fault_plan`` injects
     a deterministic fault schedule into whichever backend runs the block
@@ -165,44 +178,16 @@ def run_alternatives(
     ``obs`` (an :class:`~repro.obs.Observability`) records spans and
     metrics for the block on whichever backend runs it.
     """
-    if backend not in BACKENDS:
-        raise WorldsError(
-            f"unknown backend {backend!r}: valid backends are "
-            + ", ".join(repr(b) for b in BACKENDS)
-        )
+    runner = resolve_backend(backend)  # raises before any side effect
     if obs is not None and fault_plan is not None:
         # fault-plane correlation: every injection the backend acts on
         # also lands as an annotation instant + counter increment (the
         # sim kernel wires this itself via KernelObserver)
         obs.watch_fault_plan(fault_plan)
-    if backend == "sim":
-        outcome, _kernel = run_alternatives_sim(
-            alternatives, initial, timeout, elimination,
-            fault_plan=fault_plan, journal=journal, obs=obs, **kwargs
-        )
-        return outcome
-    if backend == "fork":
-        from repro.runtime.fork_backend import run_alternatives_fork
-
-        return run_alternatives_fork(
-            alternatives, initial, timeout=timeout, elimination=elimination,
-            fault_plan=fault_plan, block_id=block_id, attempt=attempt,
-            watchdog=watchdog, journal=journal, obs=obs, **kwargs
-        )
-    if backend == "thread":
-        from repro.runtime.thread_backend import run_alternatives_thread
-
-        return run_alternatives_thread(
-            alternatives, initial, timeout=timeout, elimination=elimination,
-            fault_plan=fault_plan, block_id=block_id, attempt=attempt,
-            journal=journal, obs=obs, **kwargs
-        )
-    from repro.runtime.sequential_backend import run_alternatives_sequential
-
-    return run_alternatives_sequential(
-        alternatives, initial, timeout=timeout,
+    return runner(
+        alternatives, initial, timeout, elimination=elimination,
         fault_plan=fault_plan, block_id=block_id, attempt=attempt,
-        journal=journal, obs=obs, **kwargs
+        watchdog=watchdog, journal=journal, obs=obs, **kwargs
     )
 
 

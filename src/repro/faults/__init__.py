@@ -19,6 +19,7 @@ same plan yields the same fault schedule on every run.
 """
 
 from repro.faults.plan import (
+    ASYNCIO_SITE,
     CHAOS_SITE,
     CHILD_SITE,
     CLUSTER_SITE,
@@ -40,9 +41,16 @@ from repro.faults.plan import (
     FaultKind,
     FaultPlan,
 )
-from repro.faults.supervisor import Supervisor, run_supervised
+from repro.faults.supervisor import (
+    ASYNC_FALLBACK,
+    DEFAULT_FALLBACK,
+    Supervisor,
+    run_supervised,
+)
 
 __all__ = [
+    "ASYNC_FALLBACK",
+    "ASYNCIO_SITE",
     "CHAOS_SITE",
     "CHILD_SITE",
     "CLUSTER_SITE",
@@ -60,6 +68,7 @@ __all__ = [
     "SNAPSHOT_SITE",
     "SPAWN_SITE",
     "TRANSPORT_SITE",
+    "DEFAULT_FALLBACK",
     "FaultDecision",
     "FaultKind",
     "FaultPlan",

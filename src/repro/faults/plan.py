@@ -58,6 +58,13 @@ snapshot   TORN_SNAPSHOT (the snapshot record is half-written, then the
 chaos      COLD_RESTART (the whole service/cluster process-state dies
            and must restart from its journals) — keyed
            ``(episode, step)`` (the chaos soak harness)
+asyncio    SLOW_TASK (the task awaits ``slow_task_s`` extra before
+           running), CANCEL_IGNORED (the task swallows cancellation and
+           lingers ``cancel_ignore_s`` before dying — a misbehaved
+           coroutine), LOOP_STALL (the task blocks the event loop
+           synchronously for ``loop_stall_s`` — a GIL-style stall every
+           sibling feels) — keyed ``(block_id, index, attempt)`` (the
+           asyncio backend)
 ========== ==================================================================
 """
 
@@ -167,6 +174,17 @@ class FaultKind(str, enum.Enum):
     #: transport: the connect() to the shard host is refused for this
     #: attempt (host restarting, backlog full, socket path raced)
     CONNECT_REFUSED = "connect-refused"
+    #: asyncio backend: the task awaits ``slow_task_s`` extra before its
+    #: alternative runs (a congested event loop / slow downstream)
+    SLOW_TASK = "slow-task"
+    #: asyncio backend: the task swallows its first cancellation and
+    #: keeps running for ``cancel_ignore_s`` (a coroutine that catches
+    #: CancelledError — elimination must still converge)
+    CANCEL_IGNORED = "cancellation-ignored"
+    #: asyncio backend: the task blocks the loop synchronously for
+    #: ``loop_stall_s`` (CPU-bound work on the loop thread; every
+    #: sibling world stalls with it)
+    LOOP_STALL = "loop-stall"
 
 
 CHILD_SITE = "child"
@@ -184,6 +202,7 @@ CLUSTER_SITE = "cluster"
 SNAPSHOT_SITE = "snapshot"
 CHAOS_SITE = "chaos"
 TRANSPORT_SITE = "transport"
+ASYNCIO_SITE = "asyncio"
 
 #: The reserved journal-site key the recovery pass queries for
 #: DOUBLE_RECOVERY (transaction seqs start at 1, so 0 never collides).
@@ -242,6 +261,11 @@ SITE_KINDS: dict[str, tuple[FaultKind, ...]] = {
         FaultKind.HOST_SIGKILL,
         FaultKind.CONNECT_REFUSED,
     ),
+    ASYNCIO_SITE: (
+        FaultKind.SLOW_TASK,
+        FaultKind.CANCEL_IGNORED,
+        FaultKind.LOOP_STALL,
+    ),
 }
 
 
@@ -294,6 +318,9 @@ class FaultPlan:
     socket_stall_s: float = 1.0
     sigstop_s: float = 0.2
     host_kill_fraction: float = 0.5
+    slow_task_s: float = 0.05
+    cancel_ignore_s: float = 0.1
+    loop_stall_s: float = 0.02
     #: Optional telemetry sink (see :meth:`note_injection`); wired by
     #: :meth:`repro.obs.Observability.watch_fault_plan`. Excluded from
     #: equality so plans still compare by schedule.
@@ -345,6 +372,12 @@ class FaultPlan:
             return self.sigstop_s
         if kind is FaultKind.HOST_SIGKILL:
             return self.host_kill_fraction
+        if kind is FaultKind.SLOW_TASK:
+            return self.slow_task_s
+        if kind is FaultKind.CANCEL_IGNORED:
+            return self.cancel_ignore_s
+        if kind is FaultKind.LOOP_STALL:
+            return self.loop_stall_s
         return 0.0
 
     # -- the decision procedure -------------------------------------------

@@ -14,7 +14,9 @@ survival layer on top of :func:`repro.core.worlds.run_alternatives`:
   escalations instead of block-wide timeouts;
 - **graceful degradation** — when spawning worlds *itself* fails
   (:class:`~repro.errors.SpawnError`, real or injected), the supervisor
-  walks a backend fallback chain (``fork -> thread -> sequential``) and
+  walks a backend fallback chain (``fork -> thread -> sequential``; the
+  asyncio backend rides its own ``async -> thread -> sequential``
+  ladder, since coroutine alternatives cannot cross a ``fork``) and
   records every hop in ``BlockOutcome.extras["degraded"]``;
 - **leased remote worlds** — :meth:`Supervisor.run_remote` ships a task
   to a (simulated) remote node under a
@@ -45,6 +47,11 @@ from repro.errors import SpawnError, WorldsError
 
 #: The default degradation ladder, strongest isolation first.
 DEFAULT_FALLBACK = ("fork", "thread", "sequential")
+
+#: The asyncio backend's ladder: coroutine alternatives cannot cross a
+#: ``fork`` boundary (the child cannot report awaitables back through a
+#: pipe), so a failed async spawn degrades straight to threads.
+ASYNC_FALLBACK = ("async", "thread", "sequential")
 
 
 class Supervisor:
@@ -125,6 +132,8 @@ class Supervisor:
     def _chain_from(self, backend: str) -> tuple[str, ...]:
         if backend in self.fallback:
             return self.fallback[self.fallback.index(backend):]
+        if backend in ASYNC_FALLBACK:
+            return ASYNC_FALLBACK[ASYNC_FALLBACK.index(backend):]
         return (backend,)
 
     def _run_degradable(

@@ -22,10 +22,9 @@ import copy
 import time
 from typing import Any, Sequence
 
-from repro.analysis.overhead import OverheadBreakdown
-from repro.core.outcome import AlternativeResult, BlockOutcome
-from repro.core.worlds import _normalize
-from repro.faults.plan import CHILD_SITE, FaultKind
+from repro.core.backend import BlockRun
+from repro.core.outcome import BlockOutcome
+from repro.faults.plan import FaultKind
 
 
 def run_alternatives_sequential(
@@ -39,123 +38,79 @@ def run_alternatives_sequential(
     obs=None,
     **_ignored: Any,
 ) -> BlockOutcome:
-    """Try alternatives in order; first guard-accepted result wins."""
-    alts = _normalize(alternatives)
-    base = dict(initial or {})
+    """Try alternatives in order; first guard-accepted result wins.
 
-    t_start = time.perf_counter()
-    deadline = None if timeout is None else t_start + timeout
-    winner: AlternativeResult | None = None
-    winner_ws: dict | None = None
-    losers: list[AlternativeResult] = []
-    timed_out = False
-    injected: list[dict] = []
+    Block bookkeeping — fault decisions, winner journaling, loser
+    labels, the telemetry record — is the shared
+    :class:`~repro.core.backend.BlockRun` surface; only the in-order
+    execution loop lives here.
+    """
+    run = BlockRun(
+        "sequential", alternatives, initial, fault_plan=fault_plan,
+        block_id=block_id, attempt=attempt, journal=journal, obs=obs,
+    )
+    deadline = None if timeout is None else run.t_start + timeout
 
-    for index, alt in enumerate(alts):
+    # BEFORE_SPAWN guards are parent-side decisions on every backend: a
+    # rejected alternative is a recorded loser even if an earlier one
+    # wins before the in-order loop would have reached it.
+    runnable = [
+        (index, alt)
+        for index, alt in enumerate(run.alts)
+        if run.precheck_guard(index, alt)
+    ]
+
+    for index, alt in runnable:
         if deadline is not None and time.perf_counter() >= deadline:
-            timed_out = True
-            losers.append(
-                AlternativeResult(
-                    index=index, name=alt.name, error="timeout-killed",
-                    elapsed_s=time.perf_counter() - t_start,
-                )
+            run.timed_out = True
+            run.reject(
+                index, "timeout-killed",
+                elapsed_s=time.perf_counter() - run.t_start,
             )
             continue
-        fault = None
-        if fault_plan is not None:
-            fault = fault_plan.decide(CHILD_SITE, block_id, index, attempt)
-            if fault.fires:
-                injected.append({"index": index, "name": alt.name, "kind": fault.kind.value})
-                fault_plan.note_injection(
-                    CHILD_SITE, fault.kind, block_id=block_id,
-                    index=index, attempt=attempt, backend="sequential",
-                )
+        fault = run.child_fault(index, alt)
         t0 = time.perf_counter()
         if fault is not None and fault.fires:
             if fault.kind is FaultKind.SLOW_START:
                 time.sleep(fault.param)
             elif fault.kind is FaultKind.HANG:
-                losers.append(
-                    AlternativeResult(
-                        index=index, name=alt.name,
-                        error="injected hang (skipped: sequential execution cannot hang)",
-                    )
+                run.reject(
+                    index,
+                    "injected hang (skipped: sequential execution cannot hang)",
                 )
                 continue
             elif fault.kind is FaultKind.GUARD_EXCEPTION:
-                losers.append(
-                    AlternativeResult(
-                        index=index, name=alt.name, guard_failed=True,
-                        error=f"guard {alt.guard.name!r} raised (injected exception)",
-                    )
+                run.reject(
+                    index,
+                    f"guard {alt.guard.name!r} raised (injected exception)",
+                    guard_failed=True,
                 )
                 continue
             else:  # CRASH / TRUNCATE / CORRUPT all mean "no result arrived"
-                losers.append(
-                    AlternativeResult(
-                        index=index, name=alt.name,
-                        error=f"injected {fault.kind.value}",
-                    )
-                )
+                run.reject(index, f"injected {fault.kind.value}")
                 continue
-        workspace = copy.deepcopy(base)
+        workspace = copy.deepcopy(run.base)
         try:
             if not alt.guard.passes_entry(workspace):
-                losers.append(
-                    AlternativeResult(
-                        index=index, name=alt.name, guard_failed=True,
-                        error=f"guard {alt.guard.name!r} rejected entry",
-                        elapsed_s=time.perf_counter() - t0,
-                    )
+                run.reject(
+                    index, f"guard {alt.guard.name!r} rejected entry",
+                    guard_failed=True, elapsed_s=time.perf_counter() - t0,
                 )
                 continue
             value = alt.fn(workspace)
             if not alt.guard.passes_result(workspace, value):
-                losers.append(
-                    AlternativeResult(
-                        index=index, name=alt.name, guard_failed=True,
-                        error=f"guard {alt.guard.name!r} rejected result",
-                        elapsed_s=time.perf_counter() - t0,
-                    )
+                run.reject(
+                    index, f"guard {alt.guard.name!r} rejected result",
+                    guard_failed=True, elapsed_s=time.perf_counter() - t0,
                 )
                 continue
         except BaseException as exc:  # noqa: BLE001 - any failure is a loser
-            losers.append(
-                AlternativeResult(
-                    index=index, name=alt.name,
-                    error=f"alternative raised {exc!r}",
-                    elapsed_s=time.perf_counter() - t0,
-                )
+            run.reject(
+                index, f"alternative raised {exc!r}",
+                guard_failed=False, elapsed_s=time.perf_counter() - t0,
             )
             continue
-        winner = AlternativeResult(
-            index=index, name=alt.name, value=value, succeeded=True,
-            elapsed_s=time.perf_counter() - t0,
-        )
-        winner_ws = workspace
-        if journal is not None:
-            from repro.journal import record_block_win
-
-            record_block_win(journal, block_id, attempt, winner)
+        run.accept(index, value, workspace, elapsed_s=time.perf_counter() - t0)
         break
 
-    outcome = BlockOutcome(
-        winner=winner,
-        elapsed_s=time.perf_counter() - t_start,
-        overhead=OverheadBreakdown(),
-        timed_out=timed_out and winner is None,
-        losers=sorted(losers, key=lambda r: r.index),
-    )
-    if winner_ws is not None:
-        outcome.extras["state"] = winner_ws
-    if injected:
-        outcome.extras["injected_faults"] = injected
-    outcome.extras["sequential"] = True
-    if obs is not None:
-        from repro.obs.integrate import record_block
-
-        record_block(
-            obs, backend="sequential", block_id=block_id, attempt=attempt,
-            t_start=t_start, outcome=outcome,
-        )
-    return outcome
+    return run.finish(extras={"sequential": True})

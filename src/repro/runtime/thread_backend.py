@@ -43,12 +43,12 @@ import time
 from typing import Any, Sequence
 
 from repro.analysis.overhead import OverheadBreakdown
-from repro.core.alternative import Alternative, GuardPlacement
+from repro.core.alternative import Alternative
+from repro.core.backend import BlockRun
 from repro.core.outcome import AlternativeResult, BlockOutcome
 from repro.core.policy import EliminationPolicy
-from repro.core.worlds import _normalize
 from repro.errors import SpawnError
-from repro.faults.plan import CHILD_SITE, SPAWN_SITE, FaultDecision, FaultKind
+from repro.faults.plan import FaultDecision, FaultKind
 
 
 class CancelToken:
@@ -131,50 +131,28 @@ def run_alternatives_thread(
     See the module docstring for the cooperative-cancellation semantics
     of ``elimination``. Raises :class:`~repro.errors.SpawnError` on an
     injected spawn failure (already-started siblings are cancelled and
-    abandoned as daemons).
+    abandoned as daemons). Block bookkeeping — guard prechecks, fault
+    decisions, winner journaling, loser labels, the telemetry record —
+    is the shared :class:`~repro.core.backend.BlockRun` surface; only
+    the thread mechanics live here.
     """
-    alts = _normalize(alternatives)
-    base = dict(initial or {})
+    run = BlockRun(
+        "thread", alternatives, initial, fault_plan=fault_plan,
+        block_id=block_id, attempt=attempt, journal=journal, obs=obs,
+    )
     reports: "queue.Queue" = queue.Queue()
     token = CancelToken()
-    injected: list[dict] = []
 
-    t_start = time.perf_counter()
     threads: list[threading.Thread] = []
-    skipped: list[AlternativeResult] = []
-    for index, alt in enumerate(alts):
-        if alt.guard.placement & GuardPlacement.BEFORE_SPAWN and alt.guard.check is not None:
-            try:
-                ok = alt.guard.passes_entry(base)
-            except Exception:
-                ok = False
-            if not ok:
-                skipped.append(
-                    AlternativeResult(
-                        index=index, name=alt.name, guard_failed=True,
-                        error="guard rejected before spawn",
-                    )
-                )
-                continue
-        fault = None
-        if fault_plan is not None:
-            if fault_plan.decide(SPAWN_SITE, block_id, index, attempt).fires:
-                token.cancel()  # abandon already-started siblings
-                fault_plan.note_injection(
-                    SPAWN_SITE, "spawn-fail", block_id=block_id,
-                    index=index, attempt=attempt, backend="thread",
-                )
-                raise SpawnError(
-                    f"spawning alternative {alt.name!r} failed: injected thread-start failure"
-                )
-            fault = fault_plan.decide(CHILD_SITE, block_id, index, attempt)
-            if fault.fires:
-                injected.append({"index": index, "name": alt.name, "kind": fault.kind.value})
-                fault_plan.note_injection(
-                    CHILD_SITE, fault.kind, block_id=block_id,
-                    index=index, attempt=attempt, backend="thread",
-                )
-        workspace = copy.deepcopy(base)
+    for index, alt in enumerate(run.alts):
+        if not run.precheck_guard(index, alt):
+            continue
+        run.spawn_fault(
+            index, alt, on_abort=token.cancel,
+            detail="injected thread-start failure",
+        )
+        fault = run.child_fault(index, alt)
+        workspace = copy.deepcopy(run.base)
         workspace["_cancel"] = token
         try:
             thread = threading.Thread(
@@ -188,44 +166,27 @@ def run_alternatives_thread(
     started = len(threads)
     t_spawned = time.perf_counter()
 
-    winner: AlternativeResult | None = None
-    winner_ws: dict | None = None
-    losers: list[AlternativeResult] = list(skipped)
-    timed_out = False
-    deadline = None if timeout is None else t_start + timeout
+    deadline = None if timeout is None else run.t_start + timeout
     remaining = started
-    while remaining > 0 and winner is None:
+    while remaining > 0 and run.winner is None:
         wait_s = None
         if deadline is not None:
             wait_s = deadline - time.perf_counter()
             if wait_s <= 0:
-                timed_out = True
+                run.timed_out = True
                 break
         try:
             index, status, payload, workspace, t0 = reports.get(timeout=wait_s)
         except queue.Empty:
-            timed_out = True
+            run.timed_out = True
             break
         remaining -= 1
         elapsed = time.perf_counter() - t0
-        alt = alts[index]
         if status == "ok":
-            winner = AlternativeResult(
-                index=index, name=alt.name, value=payload,
-                succeeded=True, elapsed_s=elapsed,
-            )
-            winner_ws = workspace
-            if journal is not None:
-                from repro.journal import record_block_win
-
-                record_block_win(journal, block_id, attempt, winner)
+            workspace.pop("_cancel", None)
+            run.accept(index, payload, workspace, elapsed_s=elapsed)
         else:
-            losers.append(
-                AlternativeResult(
-                    index=index, name=alt.name, error=str(payload),
-                    guard_failed="guard" in str(payload), elapsed_s=elapsed,
-                )
-            )
+            run.reject(index, str(payload), elapsed_s=elapsed)
 
     token.cancel()  # cooperative elimination: losers see this on next poll
     if elimination is EliminationPolicy.SYNCHRONOUS:
@@ -238,25 +199,10 @@ def run_alternatives_thread(
             thread.join(timeout=join_s)
         remaining = sum(1 for t in threads if t.is_alive())
 
-    outcome = BlockOutcome(
-        winner=winner,
-        elapsed_s=time.perf_counter() - t_start,
-        overhead=OverheadBreakdown(setup_s=t_spawned - t_start),
-        timed_out=timed_out and winner is None,
-        losers=sorted(losers, key=lambda r: r.index),
+    return run.finish(
+        overhead=OverheadBreakdown(setup_s=t_spawned - run.t_start),
+        extras={
+            "uncollected": remaining if run.winner else 0,
+            "elimination_policy": elimination.value,
+        },
     )
-    if winner_ws is not None:
-        winner_ws.pop("_cancel", None)
-        outcome.extras["state"] = winner_ws
-    outcome.extras["uncollected"] = remaining if winner else 0
-    outcome.extras["elimination_policy"] = elimination.value
-    if injected:
-        outcome.extras["injected_faults"] = injected
-    if obs is not None:
-        from repro.obs.integrate import record_block
-
-        record_block(
-            obs, backend="thread", block_id=block_id, attempt=attempt,
-            t_start=t_start, outcome=outcome,
-        )
-    return outcome

@@ -110,6 +110,11 @@ class ServeRequest:
     #: is on (it rides the ``admit`` intent so a cold restart can
     #: re-admit the request).
     spec: Any = None
+    #: tenant-declared workload class (e.g. ``"io"``, ``"cpu"``);
+    #: consulted by class-aware speculation policies
+    #: (:attr:`~repro.serve.policy.AdaptiveSpeculationPolicy.class_max_k`)
+    #: to widen or tighten K per class. Empty string = unclassified.
+    request_class: str = ""
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline_s is None:

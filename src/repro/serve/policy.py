@@ -24,6 +24,13 @@ true. A static service would have to pick one point on that curve;
 - **backend** — saturated K=1 requests degrade to the ``sequential``
   backend: no worlds, no spawn cost, exactly the paper's degenerate
   standby-spares execution.
+- **wide-K (per request class)** — the inverse degradation: a request
+  class whose worlds are I/O-bound (``class_max_k``) may speculate
+  *past* its budget grant on the near-zero-spawn-cost asyncio backend.
+  The paper's profitability frontier R_o → 0 as spawn cost vanishes,
+  so for these classes K is bounded by usefulness, not slots; the
+  decision carries ``wide=True`` so the service knows the extra worlds
+  are unbudgeted freebies rather than a policy outvoting the budget.
 
 The policy is deliberately stateless between calls — all adaptation
 lives in the shared :class:`~repro.serve.stats.AlternativeStats`, which
@@ -45,13 +52,18 @@ class SpeculationDecision:
     ``order`` holds indexes into the caller's alternative list, ranked
     best-first and truncated to K; ``staggers`` are the matching start
     delays (``staggers[0]`` is always 0). ``backend`` may downgrade the
-    service default under saturation.
+    service default under saturation (or upgrade it to ``async`` in
+    wide-K mode). ``wide`` marks a K that deliberately exceeds the
+    budget grant — the extra worlds are unbudgeted cheap tasks, so the
+    service must neither clamp them to the grant nor preemption-gate
+    them.
     """
 
     order: list[int]
     staggers: list[float]
     backend: str | None = None
     reason: str = "adaptive"
+    wide: bool = False
 
     @property
     def k(self) -> int:
@@ -98,6 +110,20 @@ class AdaptiveSpeculationPolicy:
     min_stagger_s / max_stagger_s:
         Clamp on the unit stagger, so cold stats cannot produce zero or
         absurd schedules.
+    max_k:
+        Global clamp on K regardless of grant size; None leaves the
+        grant as the only global bound.
+    class_max_k:
+        Per-request-class K cap, overriding ``max_k`` for requests
+        carrying that class. A cap *above* the grant is the wide-K
+        opt-in: the class's worlds are cheap (I/O-bound coroutines), so
+        K may exceed the granted slots — the decision comes back
+        ``wide=True`` on the ``wide_backend``. A cap below the grant is
+        just a tighter clamp (e.g. CPU-bound classes that should never
+        fan out). Classes absent from the map use ``max_k``.
+    wide_backend:
+        Backend a wide decision runs on (default ``async`` — the only
+        substrate whose spawn cost justifies unbudgeted worlds).
     """
 
     stats: AlternativeStats = field(default_factory=AlternativeStats)
@@ -107,6 +133,9 @@ class AdaptiveSpeculationPolicy:
     min_stagger_s: float = 0.001
     max_stagger_s: float = 0.25
     sequential_when_saturated: bool = True
+    max_k: int | None = None
+    class_max_k: dict[str, int] = field(default_factory=dict)
+    wide_backend: str = "async"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.saturation <= 1.0:
@@ -115,21 +144,49 @@ class AdaptiveSpeculationPolicy:
             raise ServeError(
                 f"confident_win must be in [0, 1], got {self.confident_win}"
             )
+        if self.max_k is not None and self.max_k < 1:
+            raise ServeError(f"max_k must be >= 1, got {self.max_k}")
+        for cls, cap in self.class_max_k.items():
+            if cap < 1:
+                raise ServeError(
+                    f"class_max_k[{cls!r}] must be >= 1, got {cap}"
+                )
 
     # -- the decision ------------------------------------------------------
-    def decide(self, names, granted: int, load: float = 0.0) -> SpeculationDecision:
+    def decide(
+        self,
+        names,
+        granted: int,
+        load: float = 0.0,
+        request_class: str | None = None,
+    ) -> SpeculationDecision:
         """Shape one request: ``names`` are the alternatives' names (in
-        caller order), ``granted`` the slots the budget allotted, and
-        ``load`` the pool's post-grant utilisation in ``[0, 1]``.
+        caller order), ``granted`` the slots the budget allotted,
+        ``load`` the pool's post-grant utilisation in ``[0, 1]``, and
+        ``request_class`` the tenant-declared workload class consulted
+        against ``class_max_k``.
         """
         n = len(names)
         if n == 0:
             raise ServeError("cannot decide over zero alternatives")
         ranked = sorted(range(n), key=lambda i: -self.stats.score(names[i]))
-        k = max(1, min(n, granted))
-        reason = "adaptive"
+        class_cap = (
+            self.class_max_k.get(request_class)
+            if request_class is not None
+            else None
+        )
+        cap = granted
+        if class_cap is not None:
+            cap = class_cap  # the class knows its worlds' cost better
+        elif self.max_k is not None:
+            cap = min(cap, self.max_k)
+        k = max(1, min(n, cap))
+        wide = k > max(1, granted)
+        reason = "wide" if wide else "adaptive"
         if load >= self.saturation and k > 1:
-            k, reason = 1, "saturated"
+            # a saturated machine has no spare cycles for *any* kind of
+            # speculation, cheap worlds included
+            k, reason, wide = 1, "saturated", False
         favourite = names[ranked[0]]
         fav_rec = self.stats.record(favourite)
         if (
@@ -138,14 +195,17 @@ class AdaptiveSpeculationPolicy:
             and fav_rec.attempts >= 3
             and fav_rec.win_ewma >= self.confident_win
         ):
-            k, reason = 1, "confident"
+            k, reason, wide = 1, "confident", False
         order = ranked[:k]
         staggers = [i * self._stagger_unit(favourite, load) for i in range(k)]
         backend = None
         if k == 1 and reason == "saturated" and self.sequential_when_saturated:
             backend = "sequential"
+        elif wide:
+            backend = self.wide_backend
         return SpeculationDecision(
             order=order, staggers=staggers, backend=backend, reason=reason,
+            wide=wide,
         )
 
     def _stagger_unit(self, favourite: str, load: float) -> float:

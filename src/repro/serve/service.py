@@ -35,6 +35,7 @@ hogging its share.
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import threading
 import time
 import zlib
@@ -228,6 +229,15 @@ class SpeculationService:
         if policy is None:
             policy = AdaptiveSpeculationPolicy(stats=AlternativeStats(obs=obs))
         self.policy = policy
+        # class-aware policies take a request_class kwarg; older/custom
+        # ones may not — detect once so dispatch stays compatible
+        try:
+            params = inspect.signature(policy.decide).parameters
+            self._policy_takes_class = "request_class" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            self._policy_takes_class = False
         self.workers = workers
         self.backend = backend
         self.grant_timeout_s = grant_timeout_s
@@ -468,6 +478,7 @@ class SpeculationService:
                 timeout=data.get("timeout"),
                 seq=rseq,
                 spec=spec,
+                request_class=data.get("request_class", ""),
             )
             report.re_admitted.append(rseq)
         obs = kwargs.get("obs")
@@ -503,6 +514,7 @@ class SpeculationService:
         seq: int | None = None,
         deadline_at: float | None = None,
         spec: Any = None,
+        request_class: str = "",
     ) -> ServeTicket:
         """Queue one alternative block for ``tenant``; returns a ticket.
 
@@ -524,6 +536,11 @@ class SpeculationService:
         ``spec`` is an opaque picklable description of the request that
         rides the journalled ``admit`` intent (see ``journal_admission``)
         so a cold restart can rebuild the alternatives and re-admit.
+
+        ``request_class`` is the tenant-declared workload class (e.g.
+        ``"io"``, ``"cpu"``); a class-aware policy consults it to widen
+        or tighten K (see
+        :attr:`~repro.serve.policy.AdaptiveSpeculationPolicy.class_max_k`).
         """
         if not self._running:
             raise ServiceStopped("service is not running (call start())")
@@ -541,6 +558,7 @@ class SpeculationService:
             timeout=timeout,
             cost=cost,
             spec=spec,
+            request_class=request_class,
             **extra,
         )
         ticket = ServeTicket(tenant, request.seq)
@@ -581,6 +599,7 @@ class SpeculationService:
                 "admit", request=request.seq, tenant=request.tenant,
                 priority=request.priority, cost=request.cost,
                 timeout=request.timeout, spec=request.spec,
+                request_class=request.request_class,
             )
             self.journal.seal(txn)
             self._admit_txns[request.seq] = txn
@@ -746,11 +765,19 @@ class SpeculationService:
             # the paper's free-speculation regime even though its own
             # grant may fill the pool
             others_load = max(0, self.budget.in_use - reservation.granted) / self.budget.slots
-            decision = self.policy.decide(
-                names, granted=reservation.granted, load=others_load
+            class_kwargs = (
+                {"request_class": request.request_class}
+                if self._policy_takes_class
+                else {}
             )
-            if decision.k > reservation.granted:
+            decision = self.policy.decide(
+                names, granted=reservation.granted, load=others_load,
+                **class_kwargs,
+            )
+            if decision.k > reservation.granted and not decision.wide:
                 # a policy may not outvote the budget: clamp to the grant
+                # (a wide decision is the sanctioned exception — its
+                # extra worlds are unbudgeted cheap tasks by contract)
                 decision = SpeculationDecision(
                     order=decision.order[: reservation.granted],
                     staggers=decision.staggers[: reservation.granted],
@@ -762,8 +789,9 @@ class SpeculationService:
             wave = self._build_wave(alts, decision, reservation)
             backend = decision.backend or self.backend
 
-            # release slots the policy decided not to use
-            unused = reservation.granted - decision.k
+            # release slots the policy decided not to use (a wide K
+            # exceeds the grant; nothing is unused then)
+            unused = max(0, reservation.granted - decision.k)
             if unused > 0:
                 reservation.release(unused)
 
@@ -847,14 +875,16 @@ class SpeculationService:
         reservation at start time and fail fast if their slot was
         preempted away while they waited out their stagger — the
         cheapest faithful reading of "stop launching the worlds you
-        lost" that works inside an already-running block.
+        lost" that works inside an already-running block. Wide-K ranks
+        beyond the original grant never held a slot, so there is nothing
+        to preempt — they skip the gate.
         """
         wave = []
         for rank, idx in enumerate(decision.order):
             alt = alts[idx]
             stagger = decision.staggers[rank] if rank < len(decision.staggers) else 0.0
             fn = alt.fn
-            if rank > 0:
+            if rank > 0 and not (decision.wide and rank >= reservation.granted):
                 fn = _preemption_gate(fn, rank, reservation)
             wave.append(
                 dataclasses.replace(

@@ -1,0 +1,111 @@
+"""The extracted backend registry: names, dispatch, errors, extension."""
+
+import pytest
+
+from repro.core import backend as backend_mod
+from repro.core import worlds
+from repro.core.backend import (
+    backend_names,
+    backend_summaries,
+    register_backend,
+    resolve_backend,
+)
+from repro.core.outcome import BlockOutcome
+from repro.core.worlds import run_alternatives
+from repro.errors import WorldsError
+
+BUILTINS = ("sim", "fork", "thread", "sequential", "async")
+
+
+def test_builtin_backends_registered_in_order():
+    names = backend_names()
+    assert names == BUILTINS
+
+
+def test_worlds_BACKENDS_is_the_registry_view():
+    assert worlds.BACKENDS == backend_names()
+    assert "BACKENDS" in dir(worlds)
+
+
+def test_every_backend_has_a_doc_summary():
+    summaries = dict(backend_summaries())
+    for name in BUILTINS:
+        assert summaries[name], f"backend {name!r} missing a summary"
+
+
+def test_module_docstring_generated_from_registry():
+    for name in backend_names():
+        assert f'backend="{name}"' in worlds.__doc__
+
+
+def test_unknown_backend_error_names_the_valid_set():
+    with pytest.raises(WorldsError, match="unknown backend 'nope'"):
+        resolve_backend("nope")
+    with pytest.raises(WorldsError, match="'async'"):
+        run_alternatives([lambda ws: 1], backend="nope")
+
+
+def test_unknown_backend_rejected_before_side_effects():
+    class Exploding:
+        def watch_fault_plan(self, plan):  # pragma: no cover - must not run
+            raise AssertionError("side effect before backend validation")
+
+    with pytest.raises(WorldsError, match="unknown backend"):
+        run_alternatives([lambda ws: 1], backend="nope", obs=Exploding())
+
+
+def test_duplicate_registration_requires_replace():
+    with pytest.raises(WorldsError, match="already registered"):
+        register_backend("async", lambda: None)
+
+
+@pytest.fixture
+def scratch_backend():
+    """Register a throwaway backend, removed again after the test."""
+    name = "test-scratch"
+    yield name
+    backend_mod._REGISTRY.pop(name, None)
+
+
+def test_registered_backend_dispatches_through_run_alternatives(scratch_backend):
+    calls = []
+
+    def runner(alternatives, initial, timeout, **kwargs):
+        calls.append(kwargs["block_id"])
+        return BlockOutcome(winner=None, elapsed_s=0.0, extras={"scratch": True})
+
+    register_backend(scratch_backend, lambda: runner, summary="test stub")
+    out = run_alternatives([lambda ws: 1], backend=scratch_backend, block_id=9)
+    assert out.extras["scratch"] is True
+    assert calls == [9]
+    assert scratch_backend in worlds.BACKENDS
+
+
+def test_loader_called_lazily_and_cached(scratch_backend):
+    loads = []
+
+    def loader():
+        loads.append(1)
+        return lambda alternatives, initial, timeout, **kw: BlockOutcome(winner=None, elapsed_s=0.0)
+
+    register_backend(scratch_backend, loader)
+    assert loads == []  # registration alone must not import anything
+    resolve_backend(scratch_backend)
+    resolve_backend(scratch_backend)
+    assert loads == [1]
+
+
+def test_replace_swaps_the_loader(scratch_backend):
+    register_backend(scratch_backend, lambda: None, summary="first")
+    register_backend(
+        scratch_backend,
+        lambda: (lambda a, i, t, **kw: BlockOutcome(winner=None, elapsed_s=0.0)),
+        summary="second",
+        replace=True,
+    )
+    assert dict(backend_summaries())[scratch_backend] == "second"
+
+
+def test_backend_name_must_be_a_string():
+    with pytest.raises(WorldsError, match="non-empty string"):
+        register_backend("", lambda: None)

@@ -35,6 +35,19 @@ def alts(i):
     return [functools.partial(val, i=i)]
 
 
+def slow_val(ws, i=0):
+    time.sleep(0.15)
+    return i * 7
+
+
+def slow_alts(i):
+    # slow enough that a kill issued right after the submits lands while
+    # most requests are still mid-flight: 8 x 0.15 s on 4 total worker
+    # slots needs >=2 rounds, so the fleet cannot drain first and the
+    # failover path under test is guaranteed to run
+    return [functools.partial(slow_val, i=i)]
+
+
 def make_remote(shard_id, tmp_path, **kw):
     kw.setdefault("workdir", str(tmp_path / f"shard-{shard_id}"))
     kw.setdefault("slots", 2)
@@ -183,11 +196,15 @@ class TestRemoteCluster:
             spare_factory=lambda: ClusterShard(100, slots=4, workers=4),
         ).start()
         try:
-            tickets = [router.submit(f"t{i % 3}", alts(i)) for i in range(8)]
+            tickets = [
+                router.submit(f"t{i % 3}", slow_alts(i)) for i in range(8)
+            ]
             for shard in remotes:
                 shard.sigkill()  # the whole remote fleet dies
             results = [t.result(timeout=30) for t in tickets]
-            assert all(r.committed for r in results)
+            assert all(r.committed for r in results), [
+                (r.status, r.reason) for r in results if not r.committed
+            ]
             assert 100 in router.snapshot()["retired"] or any(
                 m["shard"] == 100 for m in router.snapshot()["members"]
             )

@@ -3,20 +3,33 @@
 The paper's section 3.3 contract — the observable result is one some
 sequential execution of a single alternative could have produced — means
 that when a block's winner is *forced* (at most one alternative can
-succeed), the sim, thread and sequential backends must all commit the
-same winner with the same value, and must all fail when nothing can
+succeed), the sim, thread, sequential and async backends must all commit
+the same winner with the same value, and must all fail when nothing can
 succeed. Alternative sets are generated with exactly one (or zero)
 succeeding member so the race has only one legal outcome; the rest fail
 via a raised error or a rejecting guard.
+
+Two further paths every backend must agree on:
+
+- **guard rejection** — an entry guard that rejects keeps its
+  alternative out of the race on every backend (the loser is labelled
+  ``guard_failed``), without disturbing the forced winner;
+- **timeout** — a block whose only viable alternative outlasts the
+  parent timeout commits nowhere. Backends that can preempt a running
+  world (thread, async) must report ``timed_out`` with no winner; the
+  sequential backend cannot interrupt an alternative mid-flight, so the
+  agreement is weaker there — it either times out with no winner or
+  (having started the slow winner before the deadline) commits the one
+  legal value.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.alternative import Alternative, Guard
+from repro.core.alternative import Alternative, Guard, GuardPlacement
 from repro.core.worlds import run_alternatives
 
-BACKENDS = ("sim", "thread", "sequential")
+BACKENDS = ("sim", "thread", "sequential", "async")
 
 
 def make_alt(index, succeeds, value, mode):
@@ -93,3 +106,101 @@ def test_backends_agree_when_everything_fails(n, mode):
         assert outcome.failed, backend
         assert outcome.winner is None, backend
         assert len(outcome.losers) == n, backend
+
+
+def make_entry_rejected(index):
+    """An alternative whose entry guard keeps it out of the race.
+
+    BEFORE_SPAWN placement makes the rejection synchronous on every
+    backend (the world is never created), so the loser labelling is
+    deterministic — an IN_CHILD rejection on a preemptive backend can
+    go uncollected when the winner commits first.
+    """
+    def body(ws, _i=index):  # pragma: no cover - must never run
+        raise AssertionError(f"alt {_i} ran past a rejecting entry guard")
+    return Alternative(
+        body,
+        guard=Guard(
+            name="no-entry", check=lambda state: False,
+            placement=GuardPlacement.BEFORE_SPAWN,
+        ),
+        name=f"alt{index}", sim_cost=0.001 * (index + 1),
+    )
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=0, max_value=4),
+    st.one_of(st.integers(-100, 100), st.text(max_size=5)),
+)
+@settings(max_examples=25, deadline=None)
+def test_backends_agree_on_guard_rejection(n, winner_pos, value):
+    """Entry-guard rejection is a non-starter on every backend.
+
+    Every alternative but one is kept out by a rejecting entry guard;
+    the survivor must win everywhere, and every loser must be labelled
+    ``guard_failed`` (not crashed, not eliminated).
+    """
+    winner_idx = winner_pos % n
+    alts = [
+        make_alt(i, succeeds=True, value=value, mode="raise")
+        if i == winner_idx
+        else make_entry_rejected(i)
+        for i in range(n)
+    ]
+    for backend in BACKENDS:
+        outcome = run_alternatives(alts, backend=backend)
+        assert outcome.winner is not None, f"{backend} failed a winnable block"
+        assert outcome.winner.name == f"alt{winner_idx}", backend
+        assert outcome.value == value, backend
+        assert len(outcome.losers) == n - 1, backend
+        for loser in outcome.losers:
+            assert loser.guard_failed, (backend, loser)
+
+
+def make_slow_winner(sleep_s, value):
+    """A viable alternative that outlasts any short parent timeout.
+
+    The body sleeps for real on the OS backends, awaits on the asyncio
+    backend (a sync sleep would block the loop and starve the parent's
+    timer), and carries a virtual cost larger than the timeout for sim.
+    """
+    import asyncio
+    import time as _time
+
+    def body(ws, _v=value):
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            _time.sleep(sleep_s)
+            return _v
+        return asyncio.sleep(sleep_s, result=_v)
+
+    return Alternative(body, name="slow", sim_cost=1.0)
+
+
+@given(st.integers(min_value=0, max_value=3), st.sampled_from(["raise", "guard"]))
+@settings(max_examples=6, deadline=None)
+def test_backends_agree_on_timeout_alternative(n_losers, mode):
+    """A block whose only viable alternative outlasts the timeout.
+
+    Preemptive backends (sim counts virtual time; thread and async stop
+    waiting at the deadline) must time out with no winner. The
+    sequential backend cannot interrupt a started alternative, so it
+    either times out the same way or commits the one legal value — both
+    are sequentially-consistent outcomes, nothing else is.
+    """
+    slow = make_slow_winner(0.25, "late")
+    alts = [slow] + [
+        make_alt(i + 1, succeeds=False, value=i, mode=mode)
+        for i in range(n_losers)
+    ]
+    for backend in ("sim", "thread", "async"):
+        outcome = run_alternatives(alts, timeout=0.05, backend=backend)
+        assert outcome.winner is None, f"{backend} committed past the deadline"
+        assert outcome.timed_out, backend
+    seq = run_alternatives(alts, timeout=0.05, backend="sequential")
+    if seq.winner is None:
+        assert seq.timed_out
+    else:
+        assert seq.value == "late"

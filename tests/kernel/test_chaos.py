@@ -29,13 +29,22 @@ block_specs = st.lists(
 )
 
 
+# The receiver's timeout must outlast the worst case the strategy can
+# generate: on 1 CPU every world serializes, so up to 3 blocks x
+# (2.0 + 2.0 talker + 2.0 rival) = 18 virtual seconds of compute can
+# precede the last talker's send. A shorter timeout makes the receiver
+# give up before a legitimately winning talker gets to send, breaking
+# the observed-iff-won invariant below.
+RECV_TIMEOUT_S = 30.0
+
+
 def _build(kernel: Kernel, specs, n_receivers: int):
     receiver_pids = []
 
     def receiver(ctx):
         got = []
         while True:
-            msg = yield ctx.recv(timeout=8.0)
+            msg = yield ctx.recv(timeout=RECV_TIMEOUT_S)
             if msg is TIMEOUT:
                 return got
             got.append(msg.data)

@@ -82,6 +82,41 @@ def test_stale_merge_output_is_not_reingested(results_dir):
     assert len(merged(results_dir)) == 1
 
 
+def test_async_slice_written_and_not_reingested(results_dir):
+    write(os.path.join(results_dir, "good.json"), good_doc())
+    write(
+        os.path.join(results_dir, "async_concurrency.json"),
+        good_doc(bench="async_concurrency", name="async_peak_inflight_worlds",
+                 value=10000),
+    )
+    assert merge_json(results_dir) == 2
+    with open(os.path.join(results_dir, "BENCH_ASYNC.json")) as fh:
+        async_rows = json.load(fh)["metrics"]
+    assert [r["bench"] for r in async_rows] == ["async_concurrency"]
+    assert len(merged(results_dir)) == 2
+    # a second pass must not double-count via the split artifact either
+    assert merge_json(results_dir) == 2
+    assert len(merged(results_dir)) == 2
+
+
+def test_no_async_slice_without_async_bench(results_dir):
+    write(os.path.join(results_dir, "good.json"), good_doc())
+    merge_json(results_dir)
+    assert not os.path.exists(os.path.join(results_dir, "BENCH_ASYNC.json"))
+
+
+def test_corrupt_async_results_do_not_block_the_slice(results_dir, capsys):
+    # malformed-file tolerance applies to the async bench like any other
+    write(
+        os.path.join(results_dir, "async_concurrency.json"),
+        good_doc(bench="async_concurrency")[:25],
+    )
+    write(os.path.join(results_dir, "good.json"), good_doc())
+    assert merge_json(results_dir) == 1
+    assert "async_concurrency" in capsys.readouterr().err
+    assert not os.path.exists(os.path.join(results_dir, "BENCH_ASYNC.json"))
+
+
 def cli(results_dir):
     env = dict(os.environ)
     script = os.path.join(BENCH_DIR, "summarize.py")
